@@ -1,0 +1,96 @@
+"""Ablation: Compensation Code Engine design points.
+
+DESIGN.md calls out two CCE choices worth quantifying on the worked
+example and the suite's speculated blocks:
+
+* the one-slot-per-flush cost (Figure 3(c): recovery cannot start until
+  correctly speculated ops drain) — measured against the check-compare
+  cost knob of the machine description;
+* the Compensation Code Buffer capacity — the headline experiments use
+  an unbounded buffer; this ablation finds the smallest capacity that
+  never overflows across the suite, i.e. the hardware budget the design
+  actually needs.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.ccb import CCBFull
+from repro.core.machine_sim import simulate_block, simulate_worst_case
+from repro.core.specsched import schedule_speculative
+from repro.core.speculation import transform_block
+from repro.evaluation.paper_example import EXAMPLE_LIVE_OUT, build_example_block
+from repro.machine.configs import PLAYDOH_4W
+from repro.sched.list_scheduler import schedule_block
+
+from conftest import fresh_evaluation
+
+
+def worst_case_vs_compare_cost():
+    """Worst-case length of the paper example as the check's compare
+    stage gets more expensive."""
+    lengths = {}
+    for compare_cost in (0, 1, 2):
+        machine = replace(PLAYDOH_4W, check_compare_cost=compare_cost)
+        function, load_r4, load_r7 = build_example_block()
+        block = function.block("entry")
+        original = schedule_block(block, machine).length
+        spec = transform_block(
+            block, machine, [load_r4, load_r7], live_out=EXAMPLE_LIVE_OUT
+        )
+        sched = schedule_speculative(spec, machine, original_length=original)
+        lengths[compare_cost] = simulate_worst_case(sched).effective_length
+    return lengths
+
+
+def test_check_compare_cost(benchmark):
+    lengths = benchmark.pedantic(worst_case_vs_compare_cost, rounds=3, iterations=1)
+    # Verification latency feeds straight into recovery latency.
+    assert lengths[0] <= lengths[1] <= lengths[2]
+    assert lengths[2] > lengths[0]
+
+
+def _capacity_suffices(sched, capacity: int) -> bool:
+    outcomes = {l: False for l in sched.spec.ldpred_ids}
+    try:
+        simulate_block(sched, outcomes, ccb_capacity=capacity)
+    except CCBFull:
+        return False
+    return True
+
+
+def minimum_ccb_capacity():
+    """Smallest CCB capacity that survives every speculated block of the
+    suite under all-incorrect outcomes (the buffer's true high-water
+    mark, found by probing the simulator)."""
+    evaluation = fresh_evaluation()
+    needed = 1
+    for name in evaluation.benchmarks:
+        comp = evaluation.compilation(name, evaluation.machine_4w)
+        for label in comp.speculated_labels:
+            sched = comp.block(label).spec_schedule
+            capacity = max(1, len(sched.spec.speculated_ops))
+            while capacity > 1 and _capacity_suffices(sched, capacity - 1):
+                capacity -= 1
+            needed = max(needed, capacity)
+    return needed
+
+
+def test_ccb_capacity(benchmark):
+    needed = benchmark.pedantic(minimum_ccb_capacity, rounds=1, iterations=1)
+    # A small FIFO suffices — the paper's "simple engine" claim.
+    assert 1 <= needed <= 16
+
+    # The bound is tight somewhere in the suite: some block overflows a
+    # buffer one entry smaller.
+    if needed > 1:
+        evaluation = fresh_evaluation()
+        tight = False
+        for name in evaluation.benchmarks:
+            comp = evaluation.compilation(name, evaluation.machine_4w)
+            for label in comp.speculated_labels:
+                sched = comp.block(label).spec_schedule
+                if not _capacity_suffices(sched, needed - 1):
+                    tight = True
+        assert tight

@@ -1,0 +1,119 @@
+"""Ablation: static memory disambiguation vs value prediction.
+
+The paper motivates value prediction partly with the VLIW compiler's
+conservatively computed memory dependences.  A natural question: how much
+of the win could conventional static disambiguation (same-base,
+different-offset proofs) deliver *without* any prediction hardware?
+
+Measured per speculated block, weighted by execution frequency:
+original schedule with conservative memory edges, the same with
+disambiguation, and the speculative schedule.  The asserted shape is the
+motivating one: disambiguation alone recovers strictly less than value
+prediction does, because prediction breaks *true* data dependences that
+no amount of alias reasoning can remove.
+"""
+
+from repro.core.machine_sim import simulate_best_case
+from repro.core.specsched import schedule_speculative
+from repro.core.speculation import transform_block
+from repro.ddg.builder import build_ddg
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_table
+from repro.sched.list_scheduler import ListScheduler
+
+from conftest import fresh_evaluation
+
+
+def _microkernel_row(machine):
+    """A block where both techniques have something to do: an early
+    store conservatively blocks a later (provably disjoint) load that
+    heads a long dependent chain."""
+    fb = FunctionBuilder("micro")
+    fb.block("entry")
+    fb.mov("p", 1000)
+    fb.store("acc", "p", offset=0)       # conservative barrier
+    load = fb.load("a", "p", offset=8)   # disjoint: offset differs
+    fb.add("b", "a", 1)
+    fb.mul("c", "b", "b")
+    fb.add("d", "c", 7)
+    fb.store("d", "p", offset=16)
+    fb.halt()
+    block = fb.build().block("entry")
+    scheduler = ListScheduler(machine)
+    conservative = scheduler.schedule_block(block).length
+    disambiguated = scheduler.schedule_graph(
+        "micro", build_ddg(block, machine, disambiguate=True)
+    ).length
+    spec = transform_block(block, machine, [load])
+    sched = schedule_speculative(spec, machine, original_length=conservative)
+    speculative = simulate_best_case(sched).effective_length
+    return {
+        "benchmark": "microkernel",
+        "disambiguation_fraction": disambiguated / conservative,
+        "prediction_fraction": speculative / conservative,
+    }
+
+
+def sweep_disambiguation():
+    evaluation = fresh_evaluation()
+    machine = evaluation.machine_4w
+    scheduler = ListScheduler(machine)
+    rows = []
+    for name in evaluation.benchmarks:
+        comp = evaluation.compilation(name, machine)
+        profile = evaluation.profile(name)
+        conservative = disambiguated = speculative = 0.0
+        for label in comp.speculated_labels:
+            weight = profile.blocks.count(label)
+            if weight == 0:
+                continue
+            block = comp.program.main.block(label)
+            block_comp = comp.block(label)
+            conservative += weight * block_comp.original_length
+            precise_graph = build_ddg(block, machine, disambiguate=True)
+            disambiguated += weight * scheduler.schedule_graph(
+                label, precise_graph
+            ).length
+            speculative += weight * block_comp.best_case().effective_length
+        rows.append(
+            {
+                "benchmark": name,
+                "disambiguation_fraction": disambiguated / conservative,
+                "prediction_fraction": speculative / conservative,
+            }
+        )
+    rows.append(_microkernel_row(machine))
+    return rows
+
+
+def test_disambiguation_vs_prediction(benchmark):
+    rows = benchmark.pedantic(sweep_disambiguation, rounds=1, iterations=1)
+
+    assert len(rows) == 9
+    for row in rows:
+        # Disambiguation never hurts and never beats prediction's
+        # best case on this suite (prediction breaks true dependences).
+        assert row["disambiguation_fraction"] <= 1.0 + 1e-9
+        assert row["prediction_fraction"] <= row["disambiguation_fraction"] + 1e-9
+    mean_disambiguation = sum(r["disambiguation_fraction"] for r in rows) / len(rows)
+    mean_prediction = sum(r["prediction_fraction"] for r in rows) / len(rows)
+    assert mean_prediction < mean_disambiguation
+    # The crafted microkernel shows the full hierarchy: disambiguation
+    # recovers some cycles, prediction recovers strictly more.
+    micro = rows[-1]
+    assert micro["disambiguation_fraction"] < 1.0
+    assert micro["prediction_fraction"] < micro["disambiguation_fraction"]
+    print()
+    print(
+        format_table(
+            ["benchmark", "disambiguation only", "value prediction"],
+            [
+                (
+                    r["benchmark"],
+                    f"{r['disambiguation_fraction']:.2f}",
+                    f"{r['prediction_fraction']:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )

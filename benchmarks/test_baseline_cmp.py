@@ -1,0 +1,36 @@
+"""Regenerate the recovery-scheme comparison against [4].
+
+Paper shapes asserted: compensation code occupies a significant share of
+baseline time versus a negligible share for the proposed architecture,
+and the proposed machine is at least as fast on every benchmark.
+"""
+
+from repro.evaluation import baseline_cmp
+from repro.evaluation.experiment import arithmetic_mean
+
+from conftest import fresh_evaluation
+
+
+def run_baseline_cmp():
+    return baseline_cmp.compute(fresh_evaluation())
+
+
+def test_regenerate_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_baseline_cmp, rounds=1, iterations=1)
+
+    assert len(rows) == 8
+    for row in rows:
+        assert row.cycles_proposed <= row.cycles_baseline
+        assert row.proposed_speedup >= row.baseline_speedup
+        # Selective parallel recovery also beats restart-the-block squash.
+        assert row.proposed_speedup >= row.squash_speedup
+    mean_baseline_overhead = arithmetic_mean(
+        [r.baseline_overhead_fraction for r in rows]
+    )
+    mean_proposed_overhead = arithmetic_mean(
+        [r.proposed_overhead_fraction for r in rows]
+    )
+    assert mean_baseline_overhead > 1.5 * mean_proposed_overhead
+    assert mean_proposed_overhead < 0.08  # "negligible"
+    print()
+    print(baseline_cmp.render(rows))

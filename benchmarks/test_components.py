@@ -1,0 +1,79 @@
+"""Microbenchmarks of the substrate components.
+
+These time the pieces downstream users build on — the interpreter, the
+list scheduler, the speculation pass and the predictors — and pin basic
+sanity on each result so throughput regressions and behaviour
+regressions both surface here.
+"""
+
+import random
+
+from repro.ddg.builder import build_ddg
+from repro.ir.builder import FunctionBuilder
+from repro.machine.configs import PLAYDOH_4W
+from repro.predict.hybrid import default_hybrid
+from repro.profiling.interpreter import run_program
+from repro.profiling.profile_run import profile_program
+from repro.sched.list_scheduler import schedule_block
+from repro.core.speculation import speculate_block
+from repro.workloads.suite import load_benchmark
+
+
+def big_block(n_chains=8, chain_len=6):
+    fb = FunctionBuilder("big")
+    fb.block("entry")
+    fb.mov("p", 1000)
+    for c in range(n_chains):
+        fb.load(f"v{c}_0", "p", offset=c)
+        for i in range(1, chain_len):
+            fb.add(f"v{c}_{i}", f"v{c}_{i-1}", i)
+        fb.store(f"v{c}_{chain_len-1}", "p", offset=100 + c)
+    fb.halt()
+    return fb.build().block("entry")
+
+
+def test_list_scheduler_throughput(benchmark):
+    block = big_block()
+    schedule = benchmark(schedule_block, block, PLAYDOH_4W)
+    assert len(schedule) == len(block.operations)
+
+
+def test_ddg_construction_throughput(benchmark):
+    block = big_block()
+    graph = benchmark(build_ddg, block, PLAYDOH_4W)
+    assert len(graph) == len(block.operations)
+
+
+def test_interpreter_throughput(benchmark):
+    program = load_benchmark("compress", scale=0.5)
+    result = benchmark(run_program, program)
+    assert result.halted
+
+
+def test_value_profiling_throughput(benchmark):
+    program = load_benchmark("m88ksim", scale=0.5)
+    profile = benchmark(profile_program, program)
+    assert len(profile.values) > 0
+
+
+def test_speculation_pass_throughput(benchmark):
+    program = load_benchmark("vortex", scale=0.5)
+    profile = profile_program(program)
+    block = program.main.block("lookup")
+
+    spec = benchmark(speculate_block, block, PLAYDOH_4W, profile.values)
+    assert spec is not None
+
+
+def test_hybrid_predictor_throughput(benchmark):
+    rng = random.Random(0)
+    stream = [(f"k{i % 7}", rng.randrange(100)) for i in range(2000)]
+
+    def run():
+        predictor = default_hybrid()
+        for key, value in stream:
+            predictor.observe(key, value)
+        return predictor
+
+    predictor = benchmark(run)
+    assert predictor.stats.attempts == 2000

@@ -1,0 +1,41 @@
+"""Regenerate Figure 8: distribution of schedule-length changes.
+
+Paper shape asserted: "a large percentage of the blocks improve the
+schedule length by 1-4 cycles"; no block degrades in the all-correct
+case.
+"""
+
+import pytest
+
+from repro.evaluation import figure8
+from repro.evaluation.experiment import arithmetic_mean
+
+from conftest import fresh_evaluation
+
+
+def run_figure8():
+    return figure8.compute(fresh_evaluation())
+
+
+def test_regenerate_figure8(benchmark):
+    rows = benchmark.pedantic(run_figure8, rounds=2, iterations=1)
+
+    assert len(rows) == 8
+    for row in rows:
+        assert sum(row.percentages.values()) == pytest.approx(100.0)
+        assert row.percentages["degraded"] == 0.0
+    small_improvements = arithmetic_mean(
+        [r.percentages["improved 1-4"] for r in rows]
+    )
+    any_improvement = arithmetic_mean(
+        [
+            r.percentages["improved 1-4"]
+            + r.percentages["improved 5-8"]
+            + r.percentages["improved >8"]
+            for r in rows
+        ]
+    )
+    assert small_improvements >= 25.0
+    assert any_improvement >= 40.0
+    print()
+    print(figure8.render(rows))

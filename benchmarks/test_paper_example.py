@@ -1,0 +1,26 @@
+"""Regenerate the worked example of Figures 2/3/7.
+
+Shapes asserted are the paper's own statements about its example: the
+speculative schedule is shorter; the r4-mispredict and both-mispredict
+scenarios behave identically; the r7 scenario matches their length.
+"""
+
+from repro.evaluation.paper_example import run_example
+
+
+def test_regenerate_paper_example(benchmark):
+    example = benchmark.pedantic(run_example, rounds=5, iterations=1)
+
+    assert example.spec_schedule.length < example.original_schedule.length
+    runs = example.scenarios
+    assert runs["both correct"].effective_length == example.spec_schedule.length
+    assert (
+        runs["r4 mispredicted"].effective_length
+        == runs["both mispredicted"].effective_length
+    )
+    assert (
+        runs["r7 mispredicted"].effective_length
+        == runs["r4 mispredicted"].effective_length
+    )
+    assert runs["r4 mispredicted"].executed == 4
+    assert runs["r7 mispredicted"].executed == 2

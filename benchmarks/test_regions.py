@@ -1,0 +1,41 @@
+"""Region-size ablation (the paper's superblock expectation, quantified).
+
+Asserted shapes: the serial-chain benchmark (li's pointer chase) improves
+its best-case schedule fraction as the region grows, while at least half
+the independent-iteration loops show the dilution effect (unrolling
+harvests the ILP before prediction can claim it).
+"""
+
+from repro.evaluation import regions_exp
+
+from conftest import fresh_evaluation
+
+
+def run_regions():
+    # Full scale: the validation step rejects unroll factors that do not
+    # divide the trip count, and trip counts at fractional scales often
+    # are not divisible by 4.
+    return regions_exp.compute(fresh_evaluation(scale=1.0))
+
+
+def test_region_size_study(benchmark):
+    rows = benchmark.pedantic(run_regions, rounds=1, iterations=1)
+    by_name = {r.benchmark: r for r in rows}
+
+    # Every benchmark got at least the 2x data point (trip counts at
+    # scale 1.0 are all even).
+    for row in rows:
+        assert row.fractions.get(2) is not None, row.benchmark
+
+    # The serial-chain loop behaves as the paper predicts.
+    li = by_name["li"]
+    assert li.serial_chain
+    assert li.fractions[2] < li.fractions[1]
+
+    # Most independent-iteration loops dilute.
+    parallel = [r for r in rows if not r.serial_chain]
+    diluted = sum(1 for r in parallel if r.fractions[2] > r.fractions[1])
+    assert diluted >= len(parallel) // 2
+
+    print()
+    print(regions_exp.render(rows))

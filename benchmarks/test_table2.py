@@ -1,0 +1,32 @@
+"""Regenerate Table 2: execution-time fractions of speculated blocks.
+
+Paper shape asserted: about half the execution time is spent in blocks
+where every prediction was correct; all-incorrect blocks account for a
+very small fraction.
+"""
+
+from repro.evaluation import table2
+from repro.evaluation.experiment import arithmetic_mean
+
+from conftest import fresh_evaluation
+
+
+def run_table2():
+    evaluation = fresh_evaluation()
+    return table2.compute(evaluation)
+
+
+def test_regenerate_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=2, iterations=1)
+
+    assert len(rows) == 8
+    best = arithmetic_mean([r.best_case_fraction for r in rows])
+    worst = arithmetic_mean([r.worst_case_fraction for r in rows])
+    # "on average the benchmarks spent half of the overall time in blocks
+    # where all predictions were made correctly"
+    assert 0.35 <= best <= 0.70
+    # "account for a very small fraction of the overall execution time"
+    assert worst <= 0.15
+    assert best > 3 * worst
+    print()
+    print(table2.render(rows))

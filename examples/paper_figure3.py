@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""The paper's worked example (Figures 2, 3 and 7), fully simulated.
+
+Builds the 11-operation dependence graph of Figure 2, predicts the two
+loads (r4 and r7), and replays the four outcome scenarios of Figure 3
+with a full event trace — the LdPreds setting Synchronization bits, the
+checks verifying, the Compensation Code Engine flushing correctly
+speculated ops and re-executing mispredicted ones, and the VLIW Engine
+stalling exactly where the paper says it should.
+
+Run:  python examples/paper_figure3.py
+"""
+
+from repro.evaluation.paper_example import render, run_example
+
+
+def main() -> None:
+    example = run_example()
+    print(render(example))
+
+    print("Observations matching the paper:")
+    runs = example.scenarios
+    print(f"  * speculation shortens the static schedule from "
+          f"{example.original_schedule.length} to "
+          f"{example.spec_schedule.length} cycles;")
+    print(f"  * with every prediction correct no compensation code runs "
+          f"({runs['both correct'].flushed} ops simply flush);")
+    print(f"  * mispredicting r4 recovers {runs['r4 mispredicted'].executed} "
+          f"ops while mispredicting r7 recovers only "
+          f"{runs['r7 mispredicted'].executed}, yet both finish in "
+          f"{runs['r4 mispredicted'].effective_length} cycles — the larger "
+          f"recovery simply starts earlier;")
+    print(f"  * mispredicting both loads behaves identically to "
+          f"mispredicting r4 alone "
+          f"({runs['both mispredicted'].effective_length} cycles), because "
+          f"ops 8 and 9 depend on both chains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment has no `wheel` package (and no network to fetch one), so
+PEP 517 editable installs fail with `invalid command 'bdist_wheel'`.
+This shim lets `pip install -e . --no-build-isolation` take the legacy
+`setup.py develop` path, which needs only setuptools.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "Value Prediction in VLIW Machines"
+(Tarun Nakra, Rajiv Gupta, Mary Lou Soffa; ISCA 1999).
+
+The package is a complete VLIW compiler-and-simulator stack built from
+scratch in Python:
+
+* :mod:`repro.ir` — the intermediate representation (a Trimaran/Elcor
+  stand-in): operations, basic blocks, functions, programs.
+* :mod:`repro.machine` — HPL-PD/Playdoh-style machine descriptions.
+* :mod:`repro.ddg` — data-dependence graphs and critical-path analysis.
+* :mod:`repro.sched` — resource-constrained list scheduling.
+* :mod:`repro.predict` — value predictors: last-value, stride, FCM,
+  hybrid; the hardware value-prediction table; confidence estimation.
+* :mod:`repro.profiling` — architectural execution, block-frequency and
+  value profiling.
+* :mod:`repro.core` — the paper's contribution: the value-speculation
+  compiler pass (LdPred / check-prediction / speculative /
+  non-speculative forms, Synchronization register) and the dual-engine
+  run-time model (VLIW Engine + Compensation Code Engine with its CCB
+  and OVB), plus the statically-recovered baseline of the paper's
+  reference [4].
+* :mod:`repro.workloads` — eight synthetic SPEC95 stand-ins with
+  controlled value predictability, plus a random-program generator.
+* :mod:`repro.evaluation` — drivers that regenerate every table and
+  figure of the paper's evaluation section.
+* :mod:`repro.opt` — classical block-local optimisations (constant
+  folding, copy propagation, dead-code elimination).
+* :mod:`repro.regions` — superblock-style region enlargement
+  (straight-line merging, loop unrolling with register renaming).
+* :mod:`repro.tools` — the ``repro-inspect`` command-line tool.
+
+Quickstart::
+
+    from repro.machine import PLAYDOH_4W
+    from repro.profiling import profile_program
+    from repro.core import compile_program, simulate_program
+    from repro.workloads import load_benchmark
+
+    program = load_benchmark("compress")
+    profile = profile_program(program)
+    compilation = compile_program(program, PLAYDOH_4W, profile)
+    result = simulate_program(compilation)
+    print(f"speedup over no prediction: {result.speedup_proposed:.3f}")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

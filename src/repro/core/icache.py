@@ -1,0 +1,109 @@
+"""A direct-mapped instruction cache model.
+
+The paper argues (section 1) that statically scheduled compensation code
+pollutes the instruction cache: recovery blocks fetched on mispredictions
+evict useful main-code lines.  The proposed architecture never fetches
+compensation code through the i-cache (the Compensation Code Buffer holds
+already-decoded operations), so only the baseline pays these penalties.
+
+The model is deliberately simple — a direct-mapped cache of instruction
+lines with a fixed miss penalty — because only the *relative* pollution
+effect matters for the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class ICacheConfig:
+    """Geometry and timing of the instruction cache."""
+
+    lines: int = 256
+    ops_per_line: int = 4
+    miss_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lines < 1 or self.ops_per_line < 1 or self.miss_penalty < 0:
+            raise ValueError("invalid i-cache configuration")
+
+    def lines_for(self, op_count: int) -> int:
+        """Cache lines occupied by a block of ``op_count`` operations."""
+        return max(1, math.ceil(op_count / self.ops_per_line))
+
+
+class InstructionCache:
+    """Direct-mapped cache over a flat line-address space."""
+
+    def __init__(self, config: Optional[ICacheConfig] = None):
+        self.config = config or ICacheConfig()
+        self._tags: Dict[int, int] = {}
+        self.accesses = 0
+        self.misses = 0
+
+    def access_range(self, first_line: int, line_count: int) -> int:
+        """Fetch ``line_count`` lines starting at ``first_line``.
+
+        Returns the miss penalty in cycles for this fetch.
+        """
+        if line_count < 1:
+            raise ValueError("must access at least one line")
+        penalty = 0
+        for line in range(first_line, first_line + line_count):
+            self.accesses += 1
+            index = line % self.config.lines
+            if self._tags.get(index) != line:
+                self.misses += 1
+                self._tags[index] = line
+                penalty += self.config.miss_penalty
+        return penalty
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self._tags = {}
+        self.accesses = 0
+        self.misses = 0
+
+
+class CodeLayout:
+    """Assigns contiguous line ranges to static code blocks.
+
+    Main blocks and (for the baseline) compensation blocks are laid out
+    in the order they are registered, mimicking a linker laying out the
+    text section followed by the recovery section.
+    """
+
+    def __init__(self, config: Optional[ICacheConfig] = None):
+        self.config = config or ICacheConfig()
+        self._ranges: Dict[str, tuple[int, int]] = {}
+        self._next_line = 0
+
+    def place(self, block_id: str, op_count: int) -> tuple[int, int]:
+        if block_id in self._ranges:
+            raise ValueError(f"block {block_id!r} already placed")
+        count = self.config.lines_for(op_count)
+        placed = (self._next_line, count)
+        self._ranges[block_id] = placed
+        self._next_line += count
+        return placed
+
+    def range_of(self, block_id: str) -> tuple[int, int]:
+        try:
+            return self._ranges[block_id]
+        except KeyError:
+            raise KeyError(f"block {block_id!r} was never placed") from None
+
+    def fetch(self, cache: InstructionCache, block_id: str) -> int:
+        """Fetch a placed block through the cache; returns penalty cycles."""
+        first, count = self.range_of(block_id)
+        return cache.access_range(first, count)
+
+    @property
+    def total_lines(self) -> int:
+        return self._next_line

@@ -1,0 +1,158 @@
+"""Dual-engine block simulation: VLIW Engine + Compensation Code Engine.
+
+:func:`simulate_block` runs one dynamic instance of a speculative block
+under a given map of prediction outcomes and returns the *effective
+schedule length*: the cycle at which both the VLIW instructions and every
+required recomputation have completed.  In the all-correct case the
+Compensation Code Engine only flushes, so the effective length equals the
+static speculative schedule length; with mispredictions the recovery runs
+in parallel and only extends the block when a non-speculative consumer
+(or a recomputation tail) outlasts the VLIW stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.cc_engine import CCEngineStats, CompensationEngine
+from repro.core.ccb import CompensationCodeBuffer
+from repro.core.ovb import OperandValueBuffer
+from repro.core.specsched import SpeculativeSchedule
+from repro.core.sync_register import SyncRegisterState
+from repro.core.vliw_engine import VLIWEngineSim, VLIWRunStats
+
+
+@dataclass(frozen=True)
+class BlockRun:
+    """Result of simulating one dynamic block instance."""
+
+    label: str
+    effective_length: int
+    vliw_length: int
+    cc_tail: int
+    stall_cycles: int
+    predictions: int
+    mispredictions: int
+    flushed: int
+    executed: int
+    trace: Tuple[Tuple[int, str], ...] = ()
+    #: (op id, issue cycle) pairs; populated when collect_trace is set.
+    issue_times: Tuple[Tuple[int, int], ...] = ()
+    #: (slot cycle, "flush"|"execute", op id, completion) CCE activity;
+    #: populated when collect_trace is set.
+    cc_events: Tuple[Tuple[int, str, int, int], ...] = ()
+
+    @property
+    def all_correct(self) -> bool:
+        return self.predictions > 0 and self.mispredictions == 0
+
+    @property
+    def all_incorrect(self) -> bool:
+        return self.predictions > 0 and self.mispredictions == self.predictions
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.effective_length} cycles "
+            f"({self.mispredictions}/{self.predictions} mispredicted, "
+            f"{self.stall_cycles} stall, CC {self.executed} exec/{self.flushed} flush)"
+        )
+
+
+def simulate_block(
+    spec_schedule: SpeculativeSchedule,
+    outcomes: Mapping[int, bool],
+    collect_trace: bool = False,
+    ccb_capacity: Optional[int] = None,
+) -> BlockRun:
+    """Simulate one dynamic instance of a speculative block.
+
+    Args:
+        spec_schedule: the statically scheduled transformed block.
+        outcomes: per-``LdPred`` op id, whether the prediction was correct.
+        collect_trace: record an event log (used by the worked example).
+        ccb_capacity: bound the Compensation Code Buffer (None = unbounded).
+    """
+    events: List[Tuple[int, str]] = []
+
+    def emit(time: int, message: str) -> None:
+        events.append((time, message))
+
+    ovb = OperandValueBuffer()
+    sync = SyncRegisterState(width=max(64, spec_schedule.spec.sync_bits_used))
+    cc = CompensationEngine(
+        machine=spec_schedule.schedule.machine,
+        ovb=ovb,
+        sync=sync,
+        buffer=CompensationCodeBuffer(capacity=ccb_capacity),
+        trace=emit if collect_trace else None,
+    )
+    vliw = VLIWEngineSim(
+        spec_schedule,
+        outcomes,
+        ovb=ovb,
+        sync=sync,
+        cc=cc,
+        trace=emit if collect_trace else None,
+    )
+
+    stats: VLIWRunStats = vliw.run()
+    cc.drain()
+    cc_stats: CCEngineStats = cc.stats
+
+    # The block is architecturally complete when the VLIW stream is: all
+    # side effects (stores, branches) and all live-out values execute in
+    # non-speculative form on the VLIW Engine, so whatever the
+    # Compensation Code Engine is still recomputing is a dead block-local
+    # temporary whose only remaining job is clearing its Synchronization
+    # bit.  That tail overlaps the next block and is reported as
+    # ``cc_tail`` rather than charged to this block's length.
+    effective = stats.completion
+    return BlockRun(
+        label=spec_schedule.label,
+        effective_length=effective,
+        vliw_length=stats.completion,
+        cc_tail=max(0, cc_stats.last_exec_completion - stats.completion),
+        stall_cycles=stats.stall_cycles,
+        predictions=stats.predictions,
+        mispredictions=stats.mispredictions,
+        flushed=cc_stats.flushed,
+        executed=cc_stats.executed,
+        trace=tuple(sorted(events)) if collect_trace else (),
+        issue_times=(
+            tuple(sorted(stats.issue_times.items())) if collect_trace else ()
+        ),
+        cc_events=tuple(cc_stats.events) if collect_trace else (),
+    )
+
+
+def simulate_best_case(spec_schedule: SpeculativeSchedule) -> BlockRun:
+    """All predictions correct (the paper's Table 2/3 'best case')."""
+    return simulate_block(
+        spec_schedule, {l: True for l in spec_schedule.spec.ldpred_ids}
+    )
+
+
+def simulate_worst_case(spec_schedule: SpeculativeSchedule) -> BlockRun:
+    """All predictions incorrect (the paper's 'worst case')."""
+    return simulate_block(
+        spec_schedule, {l: False for l in spec_schedule.spec.ldpred_ids}
+    )
+
+
+def simulate_all_outcomes(
+    spec_schedule: SpeculativeSchedule,
+) -> Dict[Tuple[bool, ...], BlockRun]:
+    """Simulate every outcome pattern (2^n for n predictions).
+
+    The dynamic program simulation memoises block timings per pattern
+    through this map; blocks predict at most a handful of loads so the
+    pattern space stays tiny.
+    """
+    ldpreds = spec_schedule.spec.ldpred_ids
+    results: Dict[Tuple[bool, ...], BlockRun] = {}
+    for mask in range(1 << len(ldpreds)):
+        pattern = tuple(bool(mask & (1 << i)) for i in range(len(ldpreds)))
+        outcomes = dict(zip(ldpreds, pattern))
+        results[pattern] = simulate_block(spec_schedule, outcomes)
+    return results

@@ -1,0 +1,175 @@
+"""Per-block compilation products and outcome classification.
+
+:func:`compile_program` runs the full compiler pipeline over every block
+of a program: original schedule, speculation transform (where
+profitable), speculative schedule, and the statically-recovered baseline
+version.  The resulting :class:`ProgramCompilation` is what both the
+static experiments (Tables 3/4) and the dynamic simulation consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.liveness import compute_liveness
+from repro.ir.program import Program
+from repro.machine.description import MachineDescription
+from repro.profiling.profile_run import ProfileData
+from repro.sched.list_scheduler import ListScheduler
+from repro.core.baseline import BaselineBlock, build_baseline_block
+from repro.core.machine_sim import BlockRun, simulate_block
+from repro.core.specsched import SpeculativeSchedule, schedule_speculative
+from repro.core.speculation import SpeculationConfig, speculate_block
+
+
+class OutcomeClass(enum.Enum):
+    """Classification of one dynamic block instance (paper Table 2)."""
+
+    NOT_SPECULATED = "not-speculated"
+    ALL_CORRECT = "all-correct"
+    ALL_INCORRECT = "all-incorrect"
+    MIXED = "mixed"
+
+
+def classify_outcome(predictions: int, mispredictions: int) -> OutcomeClass:
+    if predictions == 0:
+        return OutcomeClass.NOT_SPECULATED
+    if mispredictions == 0:
+        return OutcomeClass.ALL_CORRECT
+    if mispredictions == predictions:
+        return OutcomeClass.ALL_INCORRECT
+    return OutcomeClass.MIXED
+
+
+@dataclass
+class BlockCompilation:
+    """All compiler products for one basic block."""
+
+    label: str
+    original_length: int
+    spec_schedule: Optional[SpeculativeSchedule] = None
+    baseline: Optional[BaselineBlock] = None
+    _pattern_cache: Dict[Tuple[bool, ...], BlockRun] = field(default_factory=dict)
+
+    @property
+    def speculated(self) -> bool:
+        return self.spec_schedule is not None
+
+    @property
+    def predicted_load_ids(self) -> Tuple[int, ...]:
+        """Original op ids of the predicted loads, in LdPred order.
+
+        These are the keys under which the loads were value-profiled and
+        under which the run-time value predictor is trained.
+        """
+        if self.spec_schedule is None:
+            return ()
+        spec = self.spec_schedule.spec
+        return tuple(spec.predicted_load_of[l] for l in spec.ldpred_ids)
+
+    def run_for(self, pattern: Tuple[bool, ...]) -> BlockRun:
+        """Dual-engine timing for one correctness pattern (memoised)."""
+        if self.spec_schedule is None:
+            raise RuntimeError(f"block {self.label!r} was not speculated")
+        cached = self._pattern_cache.get(pattern)
+        if cached is None:
+            ldpreds = self.spec_schedule.spec.ldpred_ids
+            if len(pattern) != len(ldpreds):
+                raise ValueError(
+                    f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
+                )
+            cached = simulate_block(self.spec_schedule, dict(zip(ldpreds, pattern)))
+            self._pattern_cache[pattern] = cached
+        return cached
+
+    def best_case(self) -> BlockRun:
+        n = len(self.predicted_load_ids)
+        return self.run_for((True,) * n)
+
+    def worst_case(self) -> BlockRun:
+        n = len(self.predicted_load_ids)
+        return self.run_for((False,) * n)
+
+
+@dataclass
+class ProgramCompilation:
+    """Compiler output for a whole program on one machine."""
+
+    program: Program
+    machine: MachineDescription
+    config: SpeculationConfig
+    profile: ProfileData
+    blocks: Dict[str, BlockCompilation]
+
+    @property
+    def speculated_labels(self) -> List[str]:
+        return [label for label, b in self.blocks.items() if b.speculated]
+
+    def block(self, label: str) -> BlockCompilation:
+        return self.blocks[label]
+
+    # -- static, frequency-weighted aggregates (Tables 3 and 4) ----------
+
+    def weighted_length_fraction(self, best: bool = True) -> float:
+        """Effective/original schedule-length ratio over speculated blocks,
+        weighted by profiled execution frequency.
+
+        ``best=True`` assumes every prediction correct; ``best=False``
+        assumes every prediction incorrect — the paper's two columns.
+        """
+        num = 0.0
+        den = 0.0
+        for label, comp in self.blocks.items():
+            if not comp.speculated:
+                continue
+            weight = self.profile.blocks.count(label)
+            if weight == 0:
+                continue
+            run = comp.best_case() if best else comp.worst_case()
+            num += weight * run.effective_length
+            den += weight * comp.original_length
+        return num / den if den else 1.0
+
+
+def compile_program(
+    program: Program,
+    machine: MachineDescription,
+    profile: ProfileData,
+    config: Optional[SpeculationConfig] = None,
+) -> ProgramCompilation:
+    """Run the full block-level compilation pipeline over ``program``."""
+    config = config or SpeculationConfig()
+    function: Function = program.main
+    liveness = compute_liveness(function)
+    scheduler = ListScheduler(machine)
+
+    blocks: Dict[str, BlockCompilation] = {}
+    for block in function:
+        original_length = scheduler.schedule_block(block).length
+        compilation = BlockCompilation(label=block.label, original_length=original_length)
+        spec = speculate_block(
+            block,
+            machine,
+            profile.values,
+            live_out=liveness.live_out[block.label],
+            config=config,
+        )
+        if spec is not None:
+            compilation.spec_schedule = schedule_speculative(
+                spec, machine, original_length=original_length
+            )
+            compilation.baseline = build_baseline_block(
+                spec, machine, original_length=original_length
+            )
+        blocks[block.label] = compilation
+
+    return ProgramCompilation(
+        program=program,
+        machine=machine,
+        config=config,
+        profile=profile,
+        blocks=blocks,
+    )

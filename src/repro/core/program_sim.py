@@ -1,0 +1,386 @@
+"""Whole-program dynamic simulation of the proposed architecture.
+
+The program is executed architecturally by the interpreter; a simulation
+observer rides along and, for every dynamic instance of a speculated
+block, queries the live hardware value predictor for each predicted load,
+scores it against the actual loaded value, and charges the instance the
+dual-engine timing for the resulting correctness pattern (timings are
+memoised per pattern — a block with *n* predicted loads has at most
+``2^n`` distinct timings).
+
+The same pass simultaneously accounts the two comparison machines:
+
+* **no prediction** — every block instance costs its original schedule
+  length;
+* **baseline recovery** ([4]) — the main speculative schedule plus serial
+  compensation-block excursions, branch redirects and (optionally)
+  instruction-cache pollution.
+
+This mirrors the paper's methodology of combining profiled block
+frequencies with per-block schedule lengths, except outcomes come from a
+real predictor running over the real value stream rather than from the
+profile alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.operation import Operation
+from repro.predict.base import ValuePredictor, _values_equal
+from repro.predict.confidence import ConfidenceEstimator
+from repro.predict.hybrid import default_hybrid
+from repro.predict.table import ValuePredictionTable
+from repro.profiling.interpreter import Interpreter
+from repro.core.baseline import simulate_baseline_block, simulate_squash_block
+from repro.core.icache import CodeLayout, ICacheConfig, InstructionCache
+from repro.core.metrics import (
+    BlockCompilation,
+    OutcomeClass,
+    ProgramCompilation,
+    classify_outcome,
+)
+
+
+@dataclass
+class ProgramSimResult:
+    """Aggregate timing of one dynamic program run on all three machines."""
+
+    program_name: str
+    machine_name: str
+    # Totals.
+    cycles_nopred: int = 0
+    cycles_proposed: int = 0
+    cycles_baseline: int = 0
+    #: Superscalar-style squash recovery: any misprediction restarts the
+    #: whole block without prediction.
+    cycles_squash: int = 0
+    squashed_instances: int = 0
+    # Baseline breakdown.
+    baseline_compensation_cycles: int = 0
+    baseline_branch_cycles: int = 0
+    baseline_icache_cycles: int = 0
+    proposed_icache_cycles: int = 0
+    # Proposed-machine accounting by dynamic outcome class.
+    cycles_by_class: Dict[OutcomeClass, int] = field(default_factory=dict)
+    instances_by_class: Dict[OutcomeClass, int] = field(default_factory=dict)
+    # Original-schedule cycles of the same instances (per class), for
+    # schedule-length-ratio computations.
+    original_cycles_by_class: Dict[OutcomeClass, int] = field(default_factory=dict)
+    # Figure 8: per dynamic speculated instance, original minus effective
+    # length (positive = improvement), bucketed later by the experiment.
+    length_delta_histogram: Counter = field(default_factory=Counter)
+    # Prediction accounting.
+    predictions: int = 0
+    mispredictions: int = 0
+    stall_cycles: int = 0
+    cc_executed: int = 0
+    cc_flushed: int = 0
+    dynamic_blocks: int = 0
+    # Extensions: instances that fell back to the non-speculative block
+    # version because prediction confidence was low (see simulate_program's
+    # ``confidence`` option), and value-prediction-table tag misses.
+    gated_instances: int = 0
+    table_tag_misses: int = 0
+
+    @property
+    def speedup_proposed(self) -> float:
+        """No-prediction cycles over proposed-machine cycles."""
+        return self.cycles_nopred / self.cycles_proposed if self.cycles_proposed else 1.0
+
+    @property
+    def speedup_baseline(self) -> float:
+        return self.cycles_nopred / self.cycles_baseline if self.cycles_baseline else 1.0
+
+    @property
+    def speedup_squash(self) -> float:
+        return self.cycles_nopred / self.cycles_squash if self.cycles_squash else 1.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def time_fraction(self, outcome: OutcomeClass) -> float:
+        """Fraction of proposed-machine time spent in instances of a class."""
+        if self.cycles_proposed == 0:
+            return 0.0
+        return self.cycles_by_class.get(outcome, 0) / self.cycles_proposed
+
+    def class_length_fraction(self, outcome: OutcomeClass) -> float:
+        """Effective/original length ratio for instances of a class."""
+        orig = self.original_cycles_by_class.get(outcome, 0)
+        if orig == 0:
+            return 1.0
+        return self.cycles_by_class.get(outcome, 0) / orig
+
+    @property
+    def baseline_compensation_fraction(self) -> float:
+        """Share of baseline time spent off the main schedule (recovery)."""
+        if self.cycles_baseline == 0:
+            return 0.0
+        overhead = (
+            self.baseline_compensation_cycles
+            + self.baseline_branch_cycles
+            + self.baseline_icache_cycles
+        )
+        return overhead / self.cycles_baseline
+
+
+class _SimulationObserver:
+    """Interpreter observer driving all three machine accountings."""
+
+    def __init__(
+        self,
+        compilation: ProgramCompilation,
+        predictor: ValuePredictor,
+        result: ProgramSimResult,
+        model_icache: bool,
+        icache_config: Optional[ICacheConfig],
+        table: Optional[ValuePredictionTable] = None,
+        confidence: Optional[ConfidenceEstimator] = None,
+    ):
+        self.compilation = compilation
+        self.predictor = predictor
+        self.result = result
+        self.machine = compilation.machine
+        self.table = table
+        self.confidence = confidence
+
+        self._current: Optional[BlockCompilation] = None
+        self._predicted_ids: frozenset = frozenset()
+        self._outcomes: Dict[int, bool] = {}
+        self._gated = False
+
+        self.model_icache = model_icache
+        if model_icache:
+            config = icache_config or ICacheConfig()
+            self.layout = CodeLayout(config)
+            self.cache_proposed = InstructionCache(config)
+            self.cache_baseline = InstructionCache(config)
+            self._place_code()
+        else:
+            self.layout = None
+            self.cache_proposed = None
+            self.cache_baseline = None
+
+    def _place_code(self) -> None:
+        """Lay out main code, then the baseline's compensation blocks."""
+        for label, comp in self.compilation.blocks.items():
+            if comp.spec_schedule is not None:
+                op_count = len(comp.spec_schedule.spec.operations)
+            else:
+                op_count = len(
+                    self.compilation.program.main.block(label).operations
+                )
+            self.layout.place(f"main:{label}", op_count)
+        for label, comp in self.compilation.blocks.items():
+            if comp.baseline is None:
+                continue
+            for c in comp.baseline.compensation.values():
+                if c.op_count:
+                    self.layout.place(c.code_id, c.op_count)
+
+    # -- observer protocol -------------------------------------------------
+
+    def block_entered(self, block: BasicBlock) -> None:
+        self._finish_instance()
+        self._current = self.compilation.blocks.get(block.label)
+        if self._current is not None and self._current.speculated:
+            self._predicted_ids = frozenset(self._current.predicted_load_ids)
+        else:
+            self._predicted_ids = frozenset()
+        self._outcomes = {}
+        # Confidence gating decides at fetch time (before the block's
+        # loads execute) whether this instance runs the speculative or
+        # the plain version of the block.
+        self._gated = bool(
+            self.confidence is not None
+            and self._predicted_ids
+            and any(
+                not self.confidence.confident(op_id)
+                for op_id in self._predicted_ids
+            )
+        )
+
+    def operation_executed(self, op: Operation, inputs, result) -> None:
+        if op.op_id not in self._predicted_ids:
+            return
+        if self.table is not None:
+            prediction = self.table.lookup(op.op_id)
+        else:
+            prediction = self.predictor.predict(op.op_id)
+        correct = prediction is not None and _values_equal(prediction, result)
+        self._outcomes[op.op_id] = correct
+        if self.table is not None:
+            self.table.train(op.op_id, result)
+        else:
+            self.predictor.update(op.op_id, result)
+        if self.confidence is not None:
+            self.confidence.record(op.op_id, correct)
+
+    def finish(self) -> None:
+        self._finish_instance()
+        self._current = None
+
+    # -- accounting -------------------------------------------------------
+
+    def _finish_instance(self) -> None:
+        comp = self._current
+        if comp is None:
+            return
+        res = self.result
+        res.dynamic_blocks += 1
+        res.cycles_nopred += comp.original_length
+
+        if not comp.speculated:
+            res.cycles_proposed += comp.original_length
+            res.cycles_baseline += comp.original_length
+            res.cycles_squash += comp.original_length
+            self._account_class(OutcomeClass.NOT_SPECULATED, comp.original_length, comp)
+            if self.model_icache:
+                penalty = self.layout.fetch(self.cache_proposed, f"main:{comp.label}")
+                res.proposed_icache_cycles += penalty
+                res.cycles_proposed += penalty
+                # The no-prediction and squash machines fetch the same
+                # block stream; charging them the proposed machine's
+                # penalty keeps the speedup comparisons apples-to-apples.
+                res.cycles_nopred += penalty
+                res.cycles_squash += penalty
+                penalty = self.layout.fetch(self.cache_baseline, f"main:{comp.label}")
+                res.baseline_icache_cycles += penalty
+                res.cycles_baseline += penalty
+            return
+
+        if self._gated:
+            # Low-confidence instance: the fetch unit selected the plain
+            # (non-speculative) version of the block, so it costs the
+            # original schedule on both speculating machines.
+            res.gated_instances += 1
+            res.cycles_proposed += comp.original_length
+            res.cycles_baseline += comp.original_length
+            res.cycles_squash += comp.original_length
+            self._account_class(
+                OutcomeClass.NOT_SPECULATED, comp.original_length, comp
+            )
+            if self.model_icache:
+                penalty = self.layout.fetch(self.cache_proposed, f"main:{comp.label}")
+                res.proposed_icache_cycles += penalty
+                res.cycles_proposed += penalty
+                res.cycles_nopred += penalty
+                penalty = self.layout.fetch(self.cache_baseline, f"main:{comp.label}")
+                res.baseline_icache_cycles += penalty
+                res.cycles_baseline += penalty
+            return
+
+        pattern = tuple(
+            self._outcomes.get(load_id, False) for load_id in comp.predicted_load_ids
+        )
+        run = comp.run_for(pattern)
+        res.cycles_proposed += run.effective_length
+        res.predictions += run.predictions
+        res.mispredictions += run.mispredictions
+        res.stall_cycles += run.stall_cycles
+        res.cc_executed += run.executed
+        res.cc_flushed += run.flushed
+        outcome = classify_outcome(run.predictions, run.mispredictions)
+        self._account_class(outcome, run.effective_length, comp)
+        res.length_delta_histogram[comp.original_length - run.effective_length] += 1
+
+        ldpreds = comp.spec_schedule.spec.ldpred_ids
+        baseline_run = simulate_baseline_block(
+            comp.baseline,
+            dict(zip(ldpreds, pattern)),
+            self.machine,
+            cache=self.cache_baseline,
+            layout=self.layout,
+        )
+        res.cycles_baseline += baseline_run.effective_length
+        res.baseline_compensation_cycles += baseline_run.compensation_cycles
+        res.baseline_branch_cycles += baseline_run.branch_cycles
+        res.baseline_icache_cycles += baseline_run.icache_cycles
+
+        squash_run = simulate_squash_block(
+            comp.spec_schedule, dict(zip(ldpreds, pattern)), self.machine
+        )
+        res.cycles_squash += squash_run.effective_length
+        if squash_run.squashed:
+            res.squashed_instances += 1
+        if self.model_icache:
+            penalty = self.layout.fetch(self.cache_proposed, f"main:{comp.label}")
+            res.proposed_icache_cycles += penalty
+            res.cycles_proposed += penalty
+            res.cycles_nopred += penalty
+            # The squash machine fetches the same block stream (and
+            # refetches on restart, which this approximation folds into
+            # the same penalty).
+            res.cycles_squash += penalty
+
+    def _account_class(
+        self, outcome: OutcomeClass, cycles: int, comp: BlockCompilation
+    ) -> None:
+        res = self.result
+        res.cycles_by_class[outcome] = res.cycles_by_class.get(outcome, 0) + cycles
+        res.instances_by_class[outcome] = res.instances_by_class.get(outcome, 0) + 1
+        res.original_cycles_by_class[outcome] = (
+            res.original_cycles_by_class.get(outcome, 0) + comp.original_length
+        )
+
+
+def simulate_program(
+    compilation: ProgramCompilation,
+    predictor: Optional[ValuePredictor] = None,
+    model_icache: bool = False,
+    icache_config: Optional[ICacheConfig] = None,
+    max_operations: int = 5_000_000,
+    table_capacity: Optional[int] = None,
+    confidence: Optional[ConfidenceEstimator] = None,
+) -> ProgramSimResult:
+    """Execute the program once, timing all three machines.
+
+    Args:
+        compilation: output of :func:`repro.core.metrics.compile_program`.
+        predictor: live hardware value predictor (default: stride+FCM
+            hybrid, the paper's configuration).
+        model_icache: charge instruction-cache miss penalties (used by
+            the baseline-comparison experiment; off for Tables 2-4, which
+            the paper computes from schedule lengths alone).
+        table_capacity: model a finite, direct-mapped Value Prediction
+            Table of this many entries (None = unbounded, the paper's
+            profile-based setting); conflicting static loads then steal
+            each other's entries.
+        confidence: optional saturating-counter confidence estimator;
+            when a block's predicted loads are not all confident, the
+            instance runs the plain (non-speculative) version of the
+            block — the classic dual-version gating extension.
+    """
+    result = ProgramSimResult(
+        program_name=compilation.program.name,
+        machine_name=compilation.machine.name,
+    )
+    base_predictor = predictor if predictor is not None else default_hybrid()
+    table = (
+        ValuePredictionTable(base_predictor, capacity=table_capacity)
+        if table_capacity is not None
+        else None
+    )
+    observer = _SimulationObserver(
+        compilation,
+        base_predictor,
+        result,
+        model_icache=model_icache,
+        icache_config=icache_config,
+        table=table,
+        confidence=confidence,
+    )
+    Interpreter(max_operations=max_operations).run(
+        compilation.program, observers=[observer]
+    )
+    observer.finish()
+    if table is not None:
+        result.table_tag_misses = table.tag_misses
+    return result

@@ -1,0 +1,509 @@
+"""The value-speculation compiler pass (paper sections 2.1 and 3).
+
+Given a basic block, a machine description and a value profile, the pass
+
+1. selects loads to predict — loads on the block's longest critical path
+   whose profiled prediction rate meets the threshold (65% in the paper),
+   accepted greedily while the speculative schedule keeps improving;
+2. rewrites the block: each predicted load becomes a ``LdPred`` (which
+   reads the value predictor) plus a check-prediction op (which
+   re-executes the load and compares); consumers of predicted values are
+   classified speculative or non-speculative;
+3. assigns Synchronization-register bits to every predicted value and
+   wait bits to every non-speculative operation;
+4. rewires the dependence graph so the standard list scheduler produces
+   the speculative schedule.
+
+Classification policy (the compiler freedom the paper leaves open, cf.
+its example where operations 10 and 11 stay non-speculative):
+
+* stores and branches are never speculated (their effects cannot be
+  undone by the Compensation Code Engine);
+* loads with tainted operands are not speculated (a speculative load from
+  a mispredicted address could fault; it waits for verification instead);
+* operations defining registers that are live out of the block are kept
+  non-speculative by default, so the architectural state handed to
+  successor blocks is always verified (``speculate_liveout`` relaxes
+  this);
+* everything else that consumes a predicted value is speculated.
+
+One constraint the paper leaves implicit is made explicit here: every
+check-prediction op must be scheduled strictly before any instruction
+that can stall on Synchronization bits.  Otherwise an in-order VLIW
+engine stalled on a bit whose clearing transitively requires a
+*not-yet-issued* check would deadlock (the Compensation Code Buffer is a
+FIFO, so an unresolved earlier entry blocks recovery of later ones).
+The pass encodes this as weight-1 SYNC edges from every check to every
+waiting non-speculative op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.ddg.builder import build_ddg
+from repro.ddg.critical_path import analyze
+from repro.ddg.graph import DepKind, DependenceGraph
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation, Reg
+from repro.machine.description import MachineDescription
+from repro.profiling.value_profile import ValueProfile
+from repro.core.isa_ext import OpForm, SpecOpInfo, SpeculativeBlock
+from repro.core.sync_register import SyncBitAllocator, SyncRegisterOverflow
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Tunables of the speculation pass.
+
+    Attributes:
+        threshold: minimum profiled prediction rate for a load to be a
+            candidate (the paper uses 0.65).
+        max_predictions: cap on predicted loads per block.
+        sync_width: Synchronization-register width in bits; speculated
+            ops beyond the width are demoted to non-speculative.
+        min_profile_executions: loads profiled fewer times than this are
+            not predicted (their rate estimate is meaningless).
+        speculate_liveout: allow speculating ops whose results are live
+            out of the block.
+        predict_alu: also consider long-latency ALU results (mul/div/...)
+            as prediction candidates — the paper's general formulation
+            ("an operation ... may have its destination operand
+            predicted").  Requires a profile gathered with
+            ``profile_program(..., profile_alu=True)``.
+    """
+
+    threshold: float = 0.65
+    max_predictions: int = 4
+    sync_width: int = 64
+    min_profile_executions: int = 4
+    speculate_liveout: bool = False
+    predict_alu: bool = False
+
+
+def _predictable(op: Operation) -> bool:
+    """Can this operation's destination value be predicted?
+
+    Loads always; otherwise any pure value-producing ALU op (the paper's
+    general formulation).  Stores and branches have no destination value.
+    """
+    from repro.ir.opcodes import is_alu
+
+    return op.is_load or (is_alu(op.opcode) and op.dest is not None)
+
+
+def transform_block(
+    block: BasicBlock,
+    machine: MachineDescription,
+    predicted_loads: Sequence[Operation],
+    live_out: FrozenSet[Reg] = frozenset(),
+    config: Optional[SpeculationConfig] = None,
+) -> SpeculativeBlock:
+    """Rewrite ``block`` predicting exactly ``predicted_loads``.
+
+    The predicted operations must belong to ``block`` and be loads or
+    pure value-producing ALU ops.  Selection policy lives in
+    :func:`speculate_block`; this function is the mechanical rewrite and
+    is exposed separately so tests and the worked paper example can
+    force specific prediction sets.
+    """
+    config = config or SpeculationConfig()
+    original_graph = build_ddg(block, machine)
+    block_ids = {op.op_id for op in block.operations}
+    for op in predicted_loads:
+        if op.op_id not in block_ids:
+            raise ValueError(f"{op} is not an operation of block {block.label!r}")
+        if not _predictable(op):
+            raise ValueError(
+                f"only loads and pure value-producing ops can be predicted, got {op}"
+            )
+
+    predicted_ids = {op.op_id for op in predicted_loads}
+
+    # -- create LdPred and check ops -------------------------------------
+    # The check form re-executes the predicted operation and compares:
+    # for a load that is the dedicated CHKPRED (memory unit + compare,
+    # paper section 3); for an ALU op it is simply the operation itself,
+    # re-issued on its own functional unit with compare semantics.
+    ldpred_for: Dict[int, Operation] = {}
+    check_for: Dict[int, Operation] = {}
+    for op in predicted_loads:
+        ldpred_for[op.op_id] = Operation(opcode=Opcode.LDPRED, dest=op.dest)
+        if op.is_load:
+            check_for[op.op_id] = Operation(
+                opcode=Opcode.CHKPRED,
+                dest=op.dest,
+                srcs=op.srcs,
+                offset=op.offset,
+            )
+        else:
+            check_for[op.op_id] = Operation(
+                opcode=op.opcode,
+                dest=op.dest,
+                srcs=op.srcs,
+                offset=op.offset,
+            )
+    predicted_by_check = {
+        check_for[l.op_id].op_id: l.op_id for l in predicted_loads
+    }
+
+    # -- classify every original operation --------------------------------
+    allocator = SyncBitAllocator(width=config.sync_width)
+    info: Dict[int, SpecOpInfo] = {}
+
+    for load in predicted_loads:
+        ldpred = ldpred_for[load.op_id]
+        bit = allocator.allocate(ldpred.op_id)
+        info[ldpred.op_id] = SpecOpInfo(
+            form=OpForm.LDPRED, origins=frozenset({ldpred.op_id}), sync_bit=bit
+        )
+
+    def producer_taint(op: Operation) -> FrozenSet[int]:
+        """Origins reaching ``op`` through its operand producers."""
+        taint: Set[int] = set()
+        for pred_id in original_graph.flow_predecessors(op.op_id):
+            if pred_id in predicted_ids:
+                taint.add(ldpred_for[pred_id].op_id)
+            else:
+                pred_info = info.get(pred_id)
+                if pred_info is not None and pred_info.form is OpForm.SPECULATIVE:
+                    taint.update(pred_info.origins)
+        return frozenset(taint)
+
+    def immediate_wait_bits(op: Operation) -> FrozenSet[int]:
+        """Bits of the most recent predicted producers of the operands."""
+        bits: Set[int] = set()
+        for pred_id in original_graph.flow_predecessors(op.op_id):
+            if pred_id in predicted_ids:
+                bits.add(info[ldpred_for[pred_id].op_id].sync_bit)
+            else:
+                pred_info = info.get(pred_id)
+                if (
+                    pred_info is not None
+                    and pred_info.form is OpForm.SPECULATIVE
+                    and pred_info.sync_bit is not None
+                ):
+                    bits.add(pred_info.sync_bit)
+        return frozenset(bits)
+
+    for op in block.operations:
+        if op.op_id in predicted_ids:
+            # The check form inherits the load's operand (address)
+            # dependences.  A tainted address means the *check* must wait
+            # for verification — this is what permits predicting chained
+            # loads (vortex-style multi-level indirection), where the
+            # address of one predicted load derives from the value of
+            # another.  The LdPred itself needs nothing: the predicted
+            # value is independent of the address computation, so
+            # consumers of the prediction are tainted only by this
+            # load's own LdPred, never by the address chain.
+            taint = producer_taint(op)
+            info[check_for[op.op_id].op_id] = SpecOpInfo(
+                form=OpForm.CHECK,
+                origins=taint,
+                wait_bits=immediate_wait_bits(op),
+                verifies=ldpred_for[op.op_id].op_id,
+            )
+            continue
+        taint = producer_taint(op)
+        if not taint:
+            info[op.op_id] = SpecOpInfo(form=OpForm.PLAIN)
+            continue
+        must_be_nonspec = (
+            op.has_side_effect
+            or op.is_load
+            or (op.dest is not None and op.dest in live_out and not config.speculate_liveout)
+        )
+        if not must_be_nonspec:
+            try:
+                bit = allocator.allocate(op.op_id)
+            except SyncRegisterOverflow:
+                must_be_nonspec = True  # graceful demotion
+            else:
+                info[op.op_id] = SpecOpInfo(
+                    form=OpForm.SPECULATIVE, origins=taint, sync_bit=bit
+                )
+                continue
+        info[op.op_id] = SpecOpInfo(
+            form=OpForm.NONSPEC, origins=taint, wait_bits=immediate_wait_bits(op)
+        )
+
+    # -- transformed operation list ----------------------------------------
+    # Each LdPred sits immediately before its check (at the original
+    # load's position).  This keeps the operation list topologically
+    # ordered even when the load's destination register has earlier
+    # definitions or uses (whose anti/output edges also constrain the
+    # LdPred); the scheduler is constrained only by edges, so the early
+    # issue of LdPred is unaffected.
+    operations: List[Operation] = []
+    for op in block.operations:
+        if op.op_id in predicted_ids:
+            operations.append(ldpred_for[op.op_id])
+            operations.append(check_for[op.op_id])
+        else:
+            operations.append(op)
+
+    # -- rewire the dependence graph -----------------------------------------
+    graph = DependenceGraph(operations)
+    terminator = block.terminator
+    ldpred_latency = machine.latency(Opcode.LDPRED)
+
+    def check_latency(check_op: Operation) -> int:
+        return machine.latency(check_op.opcode)
+
+    def node(op_id: int) -> Operation:
+        """Transformed node standing for original op ``op_id``."""
+        return check_for[op_id] if op_id in predicted_ids else _op_by_id(block, op_id)
+
+    for load in predicted_loads:
+        ldpred = ldpred_for[load.op_id]
+        check = check_for[load.op_id]
+        # LdPred writes the destination before the check (re)writes it.
+        graph.add_edge(ldpred, check, DepKind.OUTPUT, 1)
+        if terminator is not None:
+            graph.add_edge(ldpred, node(terminator.op_id), DepKind.CONTROL, 0)
+        for edge in original_graph.predecessors(load.op_id):
+            src = node(edge.src)
+            # The check inherits all of the load's constraints.  When the
+            # producer is itself a predicted load, node() maps it to its
+            # check, so the address comes from the *verified* value.
+            weight = edge.weight
+            if edge.kind is DepKind.FLOW and edge.src in predicted_ids:
+                weight = check_latency(check_for[edge.src])
+            graph.add_edge(src, check, edge.kind, weight)
+            # Writes of the destination register also constrain LdPred.
+            if edge.kind in (DepKind.ANTI, DepKind.OUTPUT):
+                graph.add_edge(src, ldpred, edge.kind, edge.weight)
+        # A check with tainted address operands must also wait for the
+        # verification of every origin prediction (best-case timing: the
+        # origin checks' completions).
+        for origin in info[check.op_id].origins:
+            origin_check = check_for[_load_of_ldpred(ldpred_for, origin)]
+            if origin_check.op_id != check.op_id:
+                graph.add_edge(
+                    origin_check, check, DepKind.SYNC, check_latency(origin_check)
+                )
+
+    for op in block.operations:
+        if op.op_id in predicted_ids:
+            continue
+        dst = node(op.op_id)
+        op_info = info[op.op_id]
+        for edge in original_graph.predecessors(op.op_id):
+            if edge.src in predicted_ids:
+                ldpred = ldpred_for[edge.src]
+                check = check_for[edge.src]
+                if edge.kind is DepKind.FLOW:
+                    if op_info.form is OpForm.SPECULATIVE:
+                        graph.add_edge(ldpred, dst, DepKind.FLOW, ldpred_latency)
+                    else:
+                        graph.add_edge(
+                            check, dst, DepKind.FLOW, check_latency(check)
+                        )
+                else:
+                    graph.add_edge(check, dst, edge.kind, edge.weight)
+                    if edge.kind in (DepKind.ANTI, DepKind.OUTPUT):
+                        graph.add_edge(ldpred, dst, edge.kind, edge.weight)
+            else:
+                graph.add_edge(node(edge.src), dst, edge.kind, edge.weight)
+        # Non-speculative ops wait for verification: in the all-correct
+        # case their wait bits clear when the relevant checks complete.
+        if op_info.form is OpForm.NONSPEC:
+            for origin in op_info.origins:
+                check = check_for[_load_of_ldpred(ldpred_for, origin)]
+                graph.add_edge(check, dst, DepKind.SYNC, check_latency(check))
+
+    # Deadlock avoidance (see module docstring): every check issues
+    # strictly before any instruction that can stall on sync bits.
+    # Checks with tainted addresses are themselves stall-capable; they
+    # are chained among each other in program order (acyclic, since an
+    # address can only derive from an earlier load's value), and receive
+    # ordering edges from all non-waiting checks.
+    position = {op.op_id: i for i, op in enumerate(block.operations)}
+    waiting_nonspec = [
+        op for op in block.operations
+        if op.op_id not in predicted_ids
+        and info[op.op_id].form is OpForm.NONSPEC
+        and info[op.op_id].wait_bits
+    ]
+    checks = [check_for[l.op_id] for l in predicted_loads]
+    waiting_checks = sorted(
+        (c for c in checks if info[c.op_id].wait_bits),
+        key=lambda c: position[predicted_by_check[c.op_id]],
+    )
+
+    def check_position(check_op) -> int:
+        return position[predicted_by_check[check_op.op_id]]
+
+    # Ordering edges must only run *forward* in program order — a
+    # backward edge could close a cycle through the value chain feeding a
+    # later check's address.  Forward-only ordering covers the common
+    # case; prediction sets whose schedules could still deadlock are
+    # rejected by the exhaustive outcome validation in speculate_block.
+    for check in checks:
+        for op in waiting_nonspec:
+            if position[op.op_id] > check_position(check):
+                graph.add_edge(check, op, DepKind.SYNC, 1)
+        if not info[check.op_id].wait_bits:
+            for waiting in waiting_checks:
+                if (
+                    waiting.op_id != check.op_id
+                    and check_position(waiting) > check_position(check)
+                ):
+                    graph.add_edge(check, waiting, DepKind.SYNC, 1)
+    for earlier, later in zip(waiting_checks, waiting_checks[1:]):
+        graph.add_edge(earlier, later, DepKind.SYNC, 1)
+
+    return SpeculativeBlock(
+        label=block.label,
+        original=block,
+        operations=operations,
+        info=info,
+        graph=graph,
+        ldpred_ids=[ldpred_for[l.op_id].op_id for l in predicted_loads],
+        check_of={
+            ldpred_for[l.op_id].op_id: check_for[l.op_id].op_id for l in predicted_loads
+        },
+        predicted_load_of={
+            ldpred_for[l.op_id].op_id: l.op_id for l in predicted_loads
+        },
+    )
+
+
+def _op_by_id(block: BasicBlock, op_id: int) -> Operation:
+    for op in block.operations:
+        if op.op_id == op_id:
+            return op
+    raise KeyError(op_id)
+
+
+def _load_of_ldpred(ldpred_for: Dict[int, Operation], ldpred_id: int) -> int:
+    for load_id, ldpred in ldpred_for.items():
+        if ldpred.op_id == ldpred_id:
+            return load_id
+    raise KeyError(ldpred_id)
+
+
+def candidate_loads(
+    block: BasicBlock,
+    machine: MachineDescription,
+    profile: ValueProfile,
+    config: SpeculationConfig,
+    already: Sequence[Operation] = (),
+    live_out: FrozenSet[Reg] = frozenset(),
+) -> List[Operation]:
+    """Predictable operations on the *current* longest critical path.
+
+    Loads always qualify; with ``config.predict_alu`` long-latency ALU
+    results qualify too (provided the profile tracked them).  With
+    ``already`` non-empty the critical path is that of the block
+    transformed by the current prediction set, so successive selections
+    chase the newly exposed path, and ops made non-speculable by the
+    current choices are filtered out.
+    """
+    if already:
+        spec = transform_block(block, machine, already, live_out=live_out, config=config)
+        graph, forms = spec.graph, spec.info
+    else:
+        graph = build_ddg(block, machine)
+        forms = None
+    analysis = analyze(graph, machine)
+    chosen_ids = {op.op_id for op in already}
+
+    def qualifies(op: Operation) -> bool:
+        if op.is_load:
+            return True
+        return (
+            config.predict_alu
+            and _predictable(op)
+            and machine.latency(op.opcode) >= 3
+        )
+
+    out: List[Operation] = []
+    for op_id in analysis.critical_ops:
+        op = graph.operation(op_id)
+        if not qualifies(op) or op.op_id in chosen_ids:
+            continue
+        if forms is not None and forms[op.op_id].form not in (
+            OpForm.PLAIN,
+            OpForm.NONSPEC,
+        ):
+            continue  # already rewritten into a prediction form
+        if forms is not None and forms[op.op_id].form is OpForm.NONSPEC and not op.is_load:
+            # A tainted ALU op re-executes on the CCE anyway; predicting
+            # it on top of its origins rarely helps and complicates the
+            # check chain — restrict chained prediction to loads.
+            continue
+        if profile.executions(op.op_id) < config.min_profile_executions:
+            continue
+        if profile.rate(op.op_id) < config.threshold:
+            continue
+        out.append(op)
+    out.sort(key=lambda op: analysis.height[op.op_id], reverse=True)
+    return out
+
+
+def speculate_block(
+    block: BasicBlock,
+    machine: MachineDescription,
+    profile: ValueProfile,
+    live_out: FrozenSet[Reg] = frozenset(),
+    config: Optional[SpeculationConfig] = None,
+) -> Optional[SpeculativeBlock]:
+    """Select predictions for ``block`` and return the transformed block.
+
+    Returns ``None`` when no profitable prediction exists (no predictable
+    load on the critical path, or predicting never shortens the
+    schedule).  Selection is greedy: keep adding the most critical
+    predictable load while the resource-constrained schedule length
+    strictly improves — which is also what makes wider machines speculate
+    more (they have the slots to absorb the LdPred/check overhead).
+    """
+    from repro.sched.list_scheduler import ListScheduler
+    from repro.core.cc_engine import SimulationDeadlock
+    from repro.core.machine_sim import simulate_all_outcomes
+    from repro.core.specsched import schedule_speculative
+
+    config = config or SpeculationConfig()
+    scheduler = ListScheduler(machine)
+    original_length = scheduler.schedule_block(block).length
+    current_length = original_length
+
+    chosen: List[Operation] = []
+    best: Optional[SpeculativeBlock] = None
+    while len(chosen) < config.max_predictions:
+        candidates = candidate_loads(
+            block, machine, profile, config, already=chosen, live_out=live_out
+        )
+        # Evaluate every candidate of this round and keep the one giving
+        # the shortest schedule (first-improving greedy is noticeably
+        # worse on chained-load blocks, where predicting the *last* load
+        # of an indirection chain wins but the *first* has the greatest
+        # dependence height).
+        round_best: Optional[tuple[int, List[Operation], SpeculativeBlock]] = None
+        for cand in candidates:
+            trial_set = chosen + [cand]
+            trial = transform_block(
+                block, machine, trial_set, live_out=live_out, config=config
+            )
+            spec_schedule = schedule_speculative(
+                trial, machine, original_length=original_length
+            )
+            if spec_schedule.length >= current_length:
+                continue
+            if round_best is not None and spec_schedule.length >= round_best[0]:
+                continue
+            # Validate every outcome pattern: a prediction set whose
+            # schedule could leave the engines without forward progress
+            # (see the deadlock discussion above) is rejected outright.
+            try:
+                simulate_all_outcomes(spec_schedule)
+            except SimulationDeadlock:
+                continue
+            round_best = (spec_schedule.length, trial_set, trial)
+        if round_best is None:
+            break
+        current_length, chosen, best = round_best
+    return best

@@ -1,0 +1,98 @@
+"""Cycle-by-cycle timeline rendering (the paper's Figure 7 view).
+
+Given a speculative schedule and a traced :class:`BlockRun`, renders a
+three-column per-cycle table: what the VLIW Engine issues (with operation
+forms and Synchronization-bit annotations), what the Compensation Code
+Engine does, and the verification events of the cycle.  This is the tool
+the worked example uses to show the Figure 3/7 scenarios, and a handy
+debugging aid for anyone extending the architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.printer import format_table
+from repro.core.isa_ext import OpForm
+from repro.core.machine_sim import BlockRun
+from repro.core.specsched import SpeculativeSchedule
+
+_FORM_GLYPH = {
+    OpForm.PLAIN: "",
+    OpForm.LDPRED: "LdPred",
+    OpForm.CHECK: "check",
+    OpForm.SPECULATIVE: "spec",
+    OpForm.NONSPEC: "nonspec",
+}
+
+
+def _vliw_cell(spec_schedule: SpeculativeSchedule, op_ids: List[int]) -> str:
+    spec = spec_schedule.spec
+    by_id = {op.op_id: op for op in spec.operations}
+    parts = []
+    for op_id in op_ids:
+        op = by_id[op_id]
+        info = spec.info[op_id]
+        glyph = _FORM_GLYPH[info.form]
+        tag = f" [{glyph}]" if glyph else ""
+        if info.sync_bit is not None:
+            tag += f" +b{info.sync_bit}"
+        if info.wait_bits:
+            tag += f" ?b{{{','.join(str(b) for b in sorted(info.wait_bits))}}}"
+        text = str(op)
+        # strip the "opNN: " prefix for readability; keep the id
+        parts.append(f"op{op_id} {text.split(': ', 1)[1]}{tag}")
+    return "; ".join(parts)
+
+
+def render_timeline(spec_schedule: SpeculativeSchedule, run: BlockRun) -> str:
+    """Render a per-cycle dual-engine timeline.
+
+    Requires ``run`` to have been produced with ``collect_trace=True``
+    (so issue times and CCE events were recorded).
+    """
+    if not run.issue_times:
+        raise ValueError(
+            "timeline rendering needs a run simulated with collect_trace=True"
+        )
+
+    issued_at: Dict[int, List[int]] = {}
+    for op_id, cycle in run.issue_times:
+        issued_at.setdefault(cycle, []).append(op_id)
+
+    cce_at: Dict[int, List[str]] = {}
+    for start, kind, op_id, completion in run.cc_events:
+        if kind == "execute":
+            cce_at.setdefault(start, []).append(f"execute op{op_id} (done @{completion})")
+        else:
+            cce_at.setdefault(start, []).append(f"flush op{op_id}")
+
+    notes_at: Dict[int, List[str]] = {}
+    for time, message in run.trace:
+        if "check" in message or "stall" in message:
+            notes_at.setdefault(time, []).append(
+                message.replace("VLIW: ", "").replace("CCE: ", "")
+            )
+
+    last_cycle = max(
+        [run.effective_length]
+        + [c for c in issued_at]
+        + [c for c in cce_at]
+        + [t for t in notes_at]
+    )
+    rows: List[Tuple[str, str, str, str]] = []
+    for cycle in range(last_cycle + 1):
+        vliw = _vliw_cell(spec_schedule, sorted(issued_at.get(cycle, [])))
+        cce = "; ".join(cce_at.get(cycle, []))
+        notes = "; ".join(notes_at.get(cycle, []))
+        if vliw or cce or notes:
+            rows.append((str(cycle), vliw, cce, notes))
+
+    header = (
+        f"block {run.label}: {run.effective_length} cycles, "
+        f"{run.mispredictions}/{run.predictions} mispredicted, "
+        f"{run.stall_cycles} stall cycle(s)\n"
+    )
+    return header + format_table(
+        ["cycle", "VLIW Engine", "Compensation Code Engine", "events"], rows
+    )

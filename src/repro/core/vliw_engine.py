@@ -1,0 +1,181 @@
+"""Timing model of the primary VLIW Engine (paper section 2.2).
+
+The engine issues statically scheduled VLIW instructions in order.  An
+instruction whose non-speculative operations carry a wait mask stalls
+until every masked Synchronization bit is clear; the stall shifts every
+later instruction by the same amount (the machine is lock-step in-order).
+While the engine is stalled, in-flight check operations still complete
+and the Compensation Code Engine keeps running — that parallelism is the
+paper's whole point.
+
+Per-operation behaviour at issue:
+
+* ``LdPred`` — sets its Synchronization bit and deposits the predicted
+  value in the OVB (shipped to the Compensation Code Engine).
+* check-prediction — on completion, verifies the prediction against the
+  outcome map: clears the ``LdPred`` bit either way (the check computed
+  the correct value); on success additionally clears the bits of
+  speculated ops whose origin predictions have now all proved correct.
+* speculative — sets its bit, deposits its value in the OVB and ships the
+  decoded op into the Compensation Code Buffer.
+* plain / non-speculative — ordinary execution (non-speculative issue
+  gating happened at the instruction level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
+
+from repro.machine.description import MachineDescription
+from repro.core.cc_engine import CompensationEngine, SimulationDeadlock
+from repro.core.ccb import CCBEntry
+from repro.core.isa_ext import OpForm
+from repro.core.ovb import OperandState, OperandValueBuffer
+from repro.core.specsched import SpeculativeSchedule
+from repro.core.sync_register import SyncRegisterState
+
+TraceFn = Callable[[int, str], None]
+
+
+@dataclass
+class VLIWRunStats:
+    """Counters from one block instance on the VLIW Engine."""
+
+    completion: int = 0
+    stall_cycles: int = 0
+    instructions_issued: int = 0
+    predictions: int = 0
+    mispredictions: int = 0
+    issue_times: Dict[int, int] = field(default_factory=dict)
+
+
+class VLIWEngineSim:
+    """Runs one speculative schedule against one prediction-outcome map."""
+
+    def __init__(
+        self,
+        spec_schedule: SpeculativeSchedule,
+        outcomes: Mapping[int, bool],
+        ovb: OperandValueBuffer,
+        sync: SyncRegisterState,
+        cc: CompensationEngine,
+        trace: Optional[TraceFn] = None,
+    ):
+        self.spec_schedule = spec_schedule
+        self.machine: MachineDescription = spec_schedule.schedule.machine
+        self.outcomes = dict(outcomes)
+        self.ovb = ovb
+        self.sync = sync
+        self.cc = cc
+        self._trace = trace
+
+        missing = set(spec_schedule.spec.ldpred_ids) - set(self.outcomes)
+        if missing:
+            raise ValueError(f"missing prediction outcomes for LdPred ops {sorted(missing)}")
+
+        # Speculated ops grouped by origin, for check-side bit clearing.
+        self._spec_by_origin: Dict[int, List[int]] = {}
+        for op in spec_schedule.spec.operations:
+            info = spec_schedule.spec.info[op.op_id]
+            if info.form is OpForm.SPECULATIVE:
+                for origin in info.origins:
+                    self._spec_by_origin.setdefault(origin, []).append(op.op_id)
+
+    def run(self) -> VLIWRunStats:
+        stats = VLIWRunStats()
+        spec = self.spec_schedule.spec
+        shift = 0
+
+        for instr in self.spec_schedule.schedule.instructions():
+            tentative = instr.cycle + shift
+            wait = self.spec_schedule.wait_bits_by_cycle.get(instr.cycle, frozenset())
+            issue = tentative
+            if wait:
+                # Give the Compensation Code Engine a chance to clear
+                # bits for recomputed values before we read them.
+                self.cc.process_available()
+                clear = self.sync.wait_until_clear(wait)
+                if clear is None:
+                    raise SimulationDeadlock(
+                        f"block {spec.label!r}: instruction at cycle "
+                        f"{instr.cycle} stalls forever on bits {sorted(wait)}"
+                    )
+                issue = max(tentative, clear)
+            stall = issue - tentative
+            if stall:
+                self._emit(issue, f"stall {stall} cycle(s) on bits {sorted(wait)}")
+            stats.stall_cycles += stall
+            shift += stall
+            stats.instructions_issued += 1
+
+            for slot in instr.slots:
+                self._issue_op(slot.operation, issue, slot.latency, stats)
+                stats.completion = max(stats.completion, issue + slot.latency)
+                stats.issue_times[slot.operation.op_id] = issue
+
+        return stats
+
+    # -- per-operation behaviour ----------------------------------------------
+
+    def _issue_op(self, op, issue: int, latency: int, stats: VLIWRunStats) -> None:
+        spec = self.spec_schedule.spec
+        info = spec.info[op.op_id]
+        completion = issue + latency
+
+        if info.form is OpForm.LDPRED:
+            self.sync.set_bit(info.sync_bit, issue)
+            self.ovb.record_predicted(op.op_id, available_at=completion)
+            stats.predictions += 1
+            self._emit(issue, f"LdPred op{op.op_id} sets bit {info.sync_bit}")
+        elif info.form is OpForm.CHECK:
+            self._complete_check(op, info.verifies, completion, stats)
+        elif info.form is OpForm.SPECULATIVE:
+            self.sync.set_bit(info.sync_bit, issue)
+            self.ovb.record_speculated(
+                op.op_id, available_at=completion, origins=info.origins
+            )
+            self.cc.insert(
+                CCBEntry(
+                    operation=op,
+                    insert_time=issue,
+                    origins=info.origins,
+                    sources=self.spec_schedule.cc_sources[op.op_id],
+                    sync_bit=info.sync_bit,
+                )
+            )
+            self._emit(issue, f"speculate op{op.op_id} (bit {info.sync_bit}) -> CCB")
+        # PLAIN and NONSPEC ops need no special action at issue: wait-bit
+        # gating already happened at the instruction level.
+
+    def _complete_check(self, op, ldpred_id: int, completion: int, stats: VLIWRunStats) -> None:
+        spec = self.spec_schedule.spec
+        correct = self.outcomes[ldpred_id]
+        ldpred_bit = spec.info[ldpred_id].sync_bit
+        # The LdPred bit clears either way: the check computed the true
+        # value and (on mismatch) updated the register file with it.
+        self.sync.clear_bit(ldpred_bit, completion)
+        self.ovb.apply_check(ldpred_id, completion, correct)
+        if not correct:
+            stats.mispredictions += 1
+            self._emit(completion, f"check op{op.op_id}: MISPREDICT (LdPred op{ldpred_id})")
+            return
+        self._emit(completion, f"check op{op.op_id}: correct (LdPred op{ldpred_id})")
+        # On success the check clears the bits of dependent speculated
+        # ops whose *every* origin is now verified correct.
+        for spec_id in self._spec_by_origin.get(ldpred_id, ()):
+            record = self.ovb.get(spec_id)
+            if record is None or record.resolved:
+                continue  # not issued yet, or already settled
+            origin_records = [self.ovb.get(o) for o in record.origins]
+            if any(r is None or not r.resolved for r in origin_records):
+                continue
+            if all(r.state is OperandState.C for r in origin_records):
+                settle = max(r.resolved_at for r in origin_records)
+                self.ovb.resolve_speculated_correct(spec_id, settle)
+                self.sync.clear_bit(spec.info[spec_id].sync_bit, settle)
+                self._emit(settle, f"check clears bit of op{spec_id} (all origins correct)")
+
+    def _emit(self, time: int, message: str) -> None:
+        if self._trace is not None:
+            self._trace(time, f"VLIW: {message}")

@@ -1,0 +1,151 @@
+"""Data-dependence graphs over the operations of one basic block.
+
+Nodes are :class:`~repro.ir.operation.Operation` objects (identified by
+``op_id``); edges carry a :class:`DepKind` and a scheduling weight in
+cycles.  Flow (true) dependence edges weigh the producer's latency; anti
+edges weigh zero (a VLIW reads registers before writing them in the same
+cycle); output and memory-ordering edges weigh one cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.operation import Operation
+
+
+class DepKind(enum.Enum):
+    """Kinds of dependence edges."""
+
+    FLOW = "flow"        # read-after-write through a register
+    ANTI = "anti"        # write-after-read through a register
+    OUTPUT = "output"    # write-after-write through a register
+    MEM = "mem"          # conservative memory ordering (store involved)
+    CONTROL = "control"  # everything must issue no later than the branch
+    SYNC = "sync"        # verification ordering introduced by speculation:
+                         # a non-speculative op may not issue before the
+                         # check operations its Synchronization-register
+                         # wait bits depend on
+
+
+@dataclass(frozen=True, slots=True)
+class DepEdge:
+    """A dependence from ``src`` to ``dst`` with a minimum issue distance."""
+
+    src: int
+    dst: int
+    kind: DepKind
+    weight: int
+
+    def __str__(self) -> str:
+        return f"op{self.src} -[{self.kind.value}/{self.weight}]-> op{self.dst}"
+
+
+class DependenceGraph:
+    """A DAG of dependences among a block's operations."""
+
+    def __init__(self, operations: List[Operation]):
+        self._ops: Dict[int, Operation] = {op.op_id: op for op in operations}
+        self._order: List[int] = [op.op_id for op in operations]
+        self._succs: Dict[int, List[DepEdge]] = {i: [] for i in self._order}
+        self._preds: Dict[int, List[DepEdge]] = {i: [] for i in self._order}
+
+    # -- construction -------------------------------------------------------
+
+    def add_edge(self, src: Operation, dst: Operation, kind: DepKind, weight: int) -> None:
+        if src.op_id == dst.op_id:
+            raise ValueError("self-dependence is not allowed")
+        if src.op_id not in self._ops or dst.op_id not in self._ops:
+            raise KeyError("both endpoints must be operations of this block")
+        # Keep only the strongest constraint between a pair for a kind —
+        # duplicates with lower weight add nothing to the scheduler.
+        for edge in self._succs[src.op_id]:
+            if edge.dst == dst.op_id and edge.kind is kind:
+                if edge.weight >= weight:
+                    return
+                self._succs[src.op_id].remove(edge)
+                self._preds[dst.op_id] = [
+                    e for e in self._preds[dst.op_id]
+                    if not (e.src == src.op_id and e.kind is kind)
+                ]
+                break
+        edge = DepEdge(src.op_id, dst.op_id, kind, weight)
+        self._succs[src.op_id].append(edge)
+        self._preds[dst.op_id].append(edge)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def operations(self) -> List[Operation]:
+        return [self._ops[i] for i in self._order]
+
+    def operation(self, op_id: int) -> Operation:
+        return self._ops[op_id]
+
+    def successors(self, op_id: int) -> List[DepEdge]:
+        return list(self._succs[op_id])
+
+    def predecessors(self, op_id: int) -> List[DepEdge]:
+        return list(self._preds[op_id])
+
+    def edges(self) -> Iterator[DepEdge]:
+        for op_id in self._order:
+            yield from self._succs[op_id]
+
+    def flow_predecessors(self, op_id: int) -> List[int]:
+        """Producers this operation truly consumes values from."""
+        return [e.src for e in self._preds[op_id] if e.kind is DepKind.FLOW]
+
+    def flow_successors(self, op_id: int) -> List[int]:
+        return [e.dst for e in self._succs[op_id] if e.kind is DepKind.FLOW]
+
+    def roots(self) -> List[Operation]:
+        """Operations with no predecessors (ready at cycle zero)."""
+        return [self._ops[i] for i in self._order if not self._preds[i]]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._ops
+
+    # -- transitive closure over flow edges ------------------------------
+
+    def flow_reachable_from(self, sources: List[int]) -> set[int]:
+        """Operation ids transitively flow-dependent on any of ``sources``.
+
+        The speculation pass uses this to find every operation whose value
+        is (directly or indirectly) derived from a predicted load.
+        """
+        seen: set[int] = set()
+        stack = list(sources)
+        while stack:
+            op_id = stack.pop()
+            for succ in self.flow_successors(op_id):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    # -- interop -----------------------------------------------------------
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (visualisation, analysis)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for op in self.operations:
+            g.add_node(op.op_id, operation=op)
+        for edge in self.edges():
+            g.add_edge(edge.src, edge.dst, kind=edge.kind.value, weight=edge.weight)
+        return g
+
+    def topological_order(self) -> List[Operation]:
+        """Operations in a dependence-respecting order.
+
+        Program order is already topological because edges only ever point
+        from earlier to later operations in the block.
+        """
+        return self.operations

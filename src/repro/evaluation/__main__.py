@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.evaluation all
+    python -m repro.evaluation table2 table4 --scale 0.5
+    repro-eval figure8 --threshold 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro.evaluation import baseline_cmp, figure8, regions_exp, table2, table3, table4
+from repro.evaluation.experiment import Evaluation, EvaluationSettings
+from repro.evaluation.report import EXPERIMENTS, full_report, run_experiment
+
+#: Experiments with structured row output available as JSON.
+_COMPUTE = {
+    "table2": table2.compute,
+    "table3": table3.compute,
+    "table4": table4.compute,
+    "figure8": figure8.compute,
+    "baseline": baseline_cmp.compute,
+    "regions": regions_exp.compute,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description=(
+            "Reproduce the evaluation of 'Value Prediction in VLIW "
+            "Machines' (Nakra, Gupta, Soffa)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.65,
+        help="profile prediction-rate threshold (paper: 0.65)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit structured rows as JSON instead of rendered tables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = EvaluationSettings(scale=args.scale).with_threshold(args.threshold)
+    evaluation = Evaluation(settings)
+
+    names = args.experiments
+    if names == ["all"] or "all" in names:
+        if args.json:
+            payload = {
+                name: [dataclasses.asdict(row) for row in compute(evaluation)]
+                for name, compute in _COMPUTE.items()
+            }
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            print(full_report(evaluation))
+        return 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; available: "
+                f"{', '.join(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            if name not in _COMPUTE:
+                print(f"experiment {name!r} has no JSON form", file=sys.stderr)
+                return 2
+            rows = [dataclasses.asdict(row) for row in _COMPUTE[name](evaluation)]
+            print(json.dumps(rows, indent=2, default=str))
+        else:
+            print(run_experiment(name, evaluation))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Shared machinery for the evaluation experiments.
+
+:class:`Evaluation` caches profiles, compilations and dynamic simulation
+results per (benchmark, machine) so the table/figure generators can share
+work — profiling is the expensive step and every experiment needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.program import Program
+from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W
+from repro.machine.description import MachineDescription
+from repro.profiling.profile_run import ProfileData, profile_program
+from repro.core.metrics import ProgramCompilation, compile_program
+from repro.core.program_sim import ProgramSimResult, simulate_program
+from repro.core.speculation import SpeculationConfig
+from repro.workloads.suite import BENCHMARKS, load_benchmark
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Knobs shared by all experiments."""
+
+    scale: float = 1.0
+    spec_config: SpeculationConfig = field(default_factory=SpeculationConfig)
+    benchmarks: Tuple[str, ...] = tuple(BENCHMARKS)
+
+    def with_threshold(self, threshold: float) -> "EvaluationSettings":
+        return replace(
+            self, spec_config=replace(self.spec_config, threshold=threshold)
+        )
+
+
+class Evaluation:
+    """Caching front end over profile -> compile -> simulate."""
+
+    def __init__(self, settings: Optional[EvaluationSettings] = None):
+        self.settings = settings or EvaluationSettings()
+        self._programs: Dict[str, Program] = {}
+        self._profiles: Dict[str, ProfileData] = {}
+        self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
+        self._simulations: Dict[Tuple[str, str, bool], ProgramSimResult] = {}
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def program(self, name: str) -> Program:
+        if name not in self._programs:
+            self._programs[name] = load_benchmark(name, scale=self.settings.scale)
+        return self._programs[name]
+
+    def profile(self, name: str) -> ProfileData:
+        if name not in self._profiles:
+            self._profiles[name] = profile_program(self.program(name))
+        return self._profiles[name]
+
+    def compilation(
+        self, name: str, machine: MachineDescription
+    ) -> ProgramCompilation:
+        key = (name, machine.name)
+        if key not in self._compilations:
+            self._compilations[key] = compile_program(
+                self.program(name),
+                machine,
+                self.profile(name),
+                config=self.settings.spec_config,
+            )
+        return self._compilations[key]
+
+    def simulation(
+        self,
+        name: str,
+        machine: MachineDescription,
+        model_icache: bool = False,
+    ) -> ProgramSimResult:
+        key = (name, machine.name, model_icache)
+        if key not in self._simulations:
+            self._simulations[key] = simulate_program(
+                self.compilation(name, machine), model_icache=model_icache
+            )
+        return self._simulations[key]
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.settings.benchmarks)
+
+    @property
+    def machine_4w(self) -> MachineDescription:
+        return PLAYDOH_4W
+
+    @property
+    def machine_8w(self) -> MachineDescription:
+        return PLAYDOH_8W
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (safe for the ratio metrics used throughout)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,71 @@
+"""Table 2: fraction of execution time in speculated blocks.
+
+The paper's Table 2 reports, per benchmark, the fraction of total
+execution time spent in blocks where predictions were made and (best
+case) *all* of them were correct, versus (worst case) *all* of them were
+incorrect.  The paper observes roughly half the time in all-correct
+blocks and a very small all-incorrect fraction — which is why the
+compensation code's impact is small for the proposed architecture.
+
+Our fractions come from the dynamic simulation: every dynamic block
+instance is classified by its actual prediction outcomes under the live
+stride+FCM hybrid predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.metrics import OutcomeClass
+from repro.evaluation.experiment import Evaluation, arithmetic_mean
+from repro.ir.printer import format_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    benchmark: str
+    best_case_fraction: float    # time in all-correct speculated blocks
+    worst_case_fraction: float   # time in all-incorrect speculated blocks
+    mixed_fraction: float
+
+
+def compute(evaluation: Evaluation) -> List[Table2Row]:
+    rows: List[Table2Row] = []
+    for name in evaluation.benchmarks:
+        sim = evaluation.simulation(name, evaluation.machine_4w)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                best_case_fraction=sim.time_fraction(OutcomeClass.ALL_CORRECT),
+                worst_case_fraction=sim.time_fraction(OutcomeClass.ALL_INCORRECT),
+                mixed_fraction=sim.time_fraction(OutcomeClass.MIXED),
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    body = [
+        (r.benchmark, f"{r.best_case_fraction:.2f}", f"{r.worst_case_fraction:.2f}")
+        for r in rows
+    ]
+    body.append(
+        (
+            "average",
+            f"{arithmetic_mean([r.best_case_fraction for r in rows]):.2f}",
+            f"{arithmetic_mean([r.worst_case_fraction for r in rows]):.2f}",
+        )
+    )
+    table = format_table(
+        ["Benchmark", "Best case (all correct)", "Worst case (all incorrect)"],
+        body,
+    )
+    return (
+        "Table 2: fraction of execution time used by speculated blocks\n"
+        + table
+    )
+
+
+def run(evaluation: Evaluation | None = None) -> str:
+    return render(compute(evaluation or Evaluation()))

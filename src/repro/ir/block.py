@@ -1,0 +1,100 @@
+"""Basic blocks of the VLIW IR."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation, Reg
+
+
+class BasicBlock:
+    """A straight-line sequence of operations ending in (at most) a branch.
+
+    Blocks are the unit of scheduling and of value speculation in the
+    paper: the compiler computes a static schedule per block and the two
+    execution engines run each dynamic block instance.
+    """
+
+    def __init__(self, label: str, operations: Optional[Iterable[Operation]] = None):
+        self.label = label
+        self.operations: List[Operation] = list(operations or [])
+        self._check_terminator_position()
+
+    def _check_terminator_position(self) -> None:
+        for op in self.operations[:-1]:
+            if op.is_branch:
+                raise ValueError(
+                    f"block {self.label!r}: branch {op} is not the last operation"
+                )
+
+    # -- structure -------------------------------------------------------
+
+    def append(self, op: Operation) -> Operation:
+        if self.operations and self.operations[-1].is_branch:
+            raise ValueError(f"block {self.label!r} is already terminated")
+        self.operations.append(op)
+        return op
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        if self.operations and self.operations[-1].is_branch:
+            return self.operations[-1]
+        return None
+
+    @property
+    def body(self) -> List[Operation]:
+        """Operations excluding the terminating branch."""
+        if self.terminator is not None:
+            return self.operations[:-1]
+        return list(self.operations)
+
+    def successor_labels(self) -> tuple[str, ...]:
+        term = self.terminator
+        if term is None or term.opcode is Opcode.HALT:
+            return ()
+        return term.targets
+
+    # -- dataflow --------------------------------------------------------
+
+    def regs_used(self) -> set[Reg]:
+        used: set[Reg] = set()
+        for op in self.operations:
+            used.update(op.uses())
+        return used
+
+    def regs_defined(self) -> set[Reg]:
+        defined: set[Reg] = set()
+        for op in self.operations:
+            defined.update(op.defs())
+        return defined
+
+    def upward_exposed_uses(self) -> set[Reg]:
+        """Registers read before any write within this block (live-in)."""
+        exposed: set[Reg] = set()
+        written: set[Reg] = set()
+        for op in self.operations:
+            for reg in op.uses():
+                if reg not in written:
+                    exposed.add(reg)
+            written.update(op.defs())
+        return exposed
+
+    def loads(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_load]
+
+    # -- cosmetics -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {op}" for op in self.operations)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.operations)} ops)>"

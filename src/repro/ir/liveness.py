@@ -1,0 +1,60 @@
+"""Backward liveness analysis over a function's CFG.
+
+The speculation pass needs per-block live-out register sets: a value that
+is live out of its block must eventually be written to the architectural
+register file with its *correct* value, so the operation computing it is
+a prime candidate for the non-speculative form (paper section 2.1: the
+example keeps operations 10 and 11, which produce the block's results,
+non-speculative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.ir.function import Function
+from repro.ir.operation import Reg
+
+
+@dataclass(frozen=True)
+class LivenessInfo:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: Dict[str, FrozenSet[Reg]]
+    live_out: Dict[str, FrozenSet[Reg]]
+
+
+def compute_liveness(function: Function) -> LivenessInfo:
+    """Standard iterative backward dataflow over the CFG.
+
+    ``live_in(B) = use(B) | (live_out(B) - def(B))``
+    ``live_out(B) = union of live_in(S) over successors S``
+    """
+    use: Dict[str, set[Reg]] = {}
+    defs: Dict[str, set[Reg]] = {}
+    for block in function:
+        use[block.label] = block.upward_exposed_uses()
+        defs[block.label] = block.regs_defined()
+
+    live_in: Dict[str, set[Reg]] = {b.label: set() for b in function}
+    live_out: Dict[str, set[Reg]] = {b.label: set() for b in function}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            label = block.label
+            out: set[Reg] = set()
+            for succ in block.successor_labels():
+                out.update(live_in[succ])
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    return LivenessInfo(
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+    )

@@ -1,0 +1,77 @@
+"""Well-formedness checks for IR functions and programs.
+
+The verifier enforces the structural invariants the rest of the system
+relies on: every block terminated, branch targets resolvable, operation
+ids unique, and no use of the value-prediction opcodes in front-end code
+(those are introduced only by the speculation pass).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.program import Program
+
+
+class VerificationError(ValueError):
+    """Raised when an IR object violates a structural invariant."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def check_function(function: Function) -> List[str]:
+    """Return a list of problems (empty when the function is well formed)."""
+    problems: List[str] = []
+    if not len(function):
+        return [f"function {function.name!r} has no blocks"]
+    if not function.has_block(function.entry_label):
+        problems.append(
+            f"function {function.name!r}: entry block "
+            f"{function.entry_label!r} does not exist"
+        )
+
+    seen_ids: set[int] = set()
+    labels = {blk.label for blk in function}
+    for block in function:
+        term = block.terminator
+        if term is None:
+            problems.append(f"block {block.label!r} lacks a terminator")
+        for target in block.successor_labels():
+            if target not in labels:
+                problems.append(
+                    f"block {block.label!r} branches to unknown label {target!r}"
+                )
+        for op in block:
+            if op.op_id in seen_ids:
+                problems.append(f"duplicate operation id {op.op_id} in {block.label!r}")
+            seen_ids.add(op.op_id)
+            if op.opcode in (Opcode.LDPRED, Opcode.CHKPRED):
+                problems.append(
+                    f"block {block.label!r}: {op.opcode.value} may only be "
+                    "introduced by the speculation pass"
+                )
+    return problems
+
+
+def verify_function(function: Function) -> Function:
+    problems = check_function(function)
+    if problems:
+        raise VerificationError(problems)
+    return function
+
+
+def verify_program(program: Program) -> Program:
+    problems: List[str] = []
+    for function in program:
+        problems.extend(check_function(function))
+    try:
+        program.main
+    except KeyError:
+        problems.append(f"program {program.name!r} lacks a main function")
+    if problems:
+        raise VerificationError(problems)
+    return program

@@ -1,0 +1,16 @@
+"""Machine descriptions (HPL-PD/Playdoh stand-in): units, widths, latencies."""
+
+from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W, UNLIMITED, by_name
+from repro.machine.description import DEFAULT_LATENCIES, MachineDescription
+from repro.machine.resources import FUPool, ReservationTable
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "FUPool",
+    "MachineDescription",
+    "PLAYDOH_4W",
+    "PLAYDOH_8W",
+    "ReservationTable",
+    "UNLIMITED",
+    "by_name",
+]

@@ -1,0 +1,66 @@
+"""Predefined machine configurations used throughout the evaluation.
+
+``PLAYDOH_4W`` is the paper's primary machine: a 4-issue VLIW with two
+integer units, one floating-point unit, one memory unit and one branch
+unit (the standard Trimaran/HPL-PD default configuration).  ``PLAYDOH_8W``
+doubles everything, which is how the paper builds the wider machine for
+the Table 4 scaling study.
+"""
+
+from __future__ import annotations
+
+from repro.ir.opcodes import FUClass
+from repro.machine.description import MachineDescription
+from repro.machine.resources import FUPool
+
+PLAYDOH_4W = MachineDescription(
+    name="playdoh-4w",
+    issue_width=4,
+    pool=FUPool(
+        {
+            FUClass.IALU: 2,
+            FUClass.FALU: 1,
+            FUClass.MEM: 1,
+            FUClass.BRANCH: 1,
+        }
+    ),
+)
+
+PLAYDOH_8W = MachineDescription(
+    name="playdoh-8w",
+    issue_width=8,
+    pool=FUPool(
+        {
+            FUClass.IALU: 4,
+            FUClass.FALU: 2,
+            FUClass.MEM: 2,
+            FUClass.BRANCH: 2,
+        }
+    ),
+)
+
+#: A machine wide enough to never bind on resources; used by unit tests to
+#: isolate dependence-driven behaviour from resource contention.
+UNLIMITED = MachineDescription(
+    name="unlimited",
+    issue_width=64,
+    pool=FUPool(
+        {
+            FUClass.IALU: 64,
+            FUClass.FALU: 64,
+            FUClass.MEM: 64,
+            FUClass.BRANCH: 64,
+        }
+    ),
+)
+
+
+def by_name(name: str) -> MachineDescription:
+    """Look up a predefined configuration by name."""
+    table = {m.name: m for m in (PLAYDOH_4W, PLAYDOH_8W, UNLIMITED)}
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(table)}"
+        ) from None

@@ -1,0 +1,56 @@
+"""Finite Context Method (FCM) prediction [Sazeides & Smith].
+
+A two-level predictor: the first level keeps, per static operation, the
+last *order* values produced (the context); the second level maps a hash
+of that context to the value that followed it last time.  FCM captures
+repeating non-arithmetic sequences (e.g. values cycling through a small
+set) that stride prediction cannot.  This is the "FCM prediction [13]"
+profile predictor of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.predict.base import Key, Value, ValuePredictor
+
+
+class FCMPredictor(ValuePredictor):
+    """Order-``k`` finite-context-method predictor."""
+
+    name = "fcm"
+
+    def __init__(self, order: int = 2, table_bits: int = 16) -> None:
+        super().__init__()
+        if order < 1:
+            raise ValueError("FCM order must be >= 1")
+        if table_bits < 1 or table_bits > 30:
+            raise ValueError("table_bits must be in [1, 30]")
+        self.order = order
+        self.table_size = 1 << table_bits
+        self._history: Dict[Key, Deque[Value]] = {}
+        self._second_level: Dict[Tuple[Key, int], Value] = {}
+
+    def _context_hash(self, history: Deque[Value]) -> int:
+        h = 0
+        for value in history:
+            h = (h * 1000003) ^ hash(value)
+        return h % self.table_size
+
+    def predict(self, key: Key) -> Optional[Value]:
+        history = self._history.get(key)
+        if history is None or len(history) < self.order:
+            return None
+        return self._second_level.get((key, self._context_hash(history)))
+
+    def update(self, key: Key, actual: Value) -> None:
+        history = self._history.setdefault(key, deque(maxlen=self.order))
+        if len(history) == self.order:
+            self._second_level[(key, self._context_hash(history))] = actual
+        history.append(actual)
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = {}
+        self._second_level = {}

@@ -1,0 +1,82 @@
+"""Hybrid (tournament) value prediction.
+
+The paper profiles each operation with both stride and FCM and uses "the
+higher value out of these two prediction rates".  The run-time analogue is
+a tournament predictor: both components train on every outcome, and a
+per-key saturating chooser selects which component's prediction to use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.predict.base import Key, Value, ValuePredictor, _values_equal
+from repro.predict.fcm import FCMPredictor
+from repro.predict.stride import StridePredictor
+
+
+class HybridPredictor(ValuePredictor):
+    """Tournament over component predictors with a per-key chooser.
+
+    The chooser is a saturating counter per key: positive favours the
+    first component, negative the second (generalised to N components as
+    per-component scores).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        components: Optional[Sequence[ValuePredictor]] = None,
+        counter_max: int = 8,
+    ) -> None:
+        super().__init__()
+        self.components: list[ValuePredictor] = list(
+            components if components is not None else (StridePredictor(), FCMPredictor())
+        )
+        if not self.components:
+            raise ValueError("hybrid predictor needs at least one component")
+        self.counter_max = counter_max
+        self._scores: Dict[Key, list[int]] = {}
+
+    def _score_row(self, key: Key) -> list[int]:
+        return self._scores.setdefault(key, [0] * len(self.components))
+
+    def predict(self, key: Key) -> Optional[Value]:
+        row = self._score_row(key)
+        # Try components from best score down; first one with an actual
+        # prediction wins.
+        order = sorted(range(len(self.components)), key=lambda i: row[i], reverse=True)
+        for i in order:
+            prediction = self.components[i].predict(key)
+            if prediction is not None:
+                return prediction
+        return None
+
+    def update(self, key: Key, actual: Value) -> None:
+        row = self._score_row(key)
+        for i, component in enumerate(self.components):
+            prediction = component.predict(key)
+            if prediction is not None:
+                if _values_equal(prediction, actual):
+                    row[i] = min(self.counter_max, row[i] + 1)
+                else:
+                    row[i] = max(-self.counter_max, row[i] - 1)
+            component.update(key, actual)
+
+    def reset(self) -> None:
+        super().reset()
+        for component in self.components:
+            component.reset()
+        self._scores = {}
+
+    def chosen_component(self, key: Key) -> ValuePredictor:
+        """The component the chooser currently favours for a key."""
+        row = self._score_row(key)
+        best = max(range(len(self.components)), key=lambda i: row[i])
+        return self.components[best]
+
+
+def default_hybrid() -> HybridPredictor:
+    """The paper's profile configuration: stride + order-2 FCM."""
+    return HybridPredictor([StridePredictor(), FCMPredictor(order=2)])

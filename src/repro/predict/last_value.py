@@ -1,0 +1,33 @@
+"""Last-value prediction [Lipasti & Shen].
+
+Predicts that an instruction will produce the same value it produced the
+previous time.  Included as the simplest member of the predictor family
+and as a baseline for the ablation benchmarks; the paper itself profiles
+with stride and FCM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.predict.base import Key, Value, ValuePredictor
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predict the previously seen value for the same static operation."""
+
+    name = "last-value"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Dict[Key, Value] = {}
+
+    def predict(self, key: Key) -> Optional[Value]:
+        return self._last.get(key)
+
+    def update(self, key: Key, actual: Value) -> None:
+        self._last[key] = actual
+
+    def reset(self) -> None:
+        super().reset()
+        self._last = {}

@@ -1,0 +1,68 @@
+"""Two-delta stride prediction [Eickemeyer & Vassiliadis; Gabbay & Mendelson].
+
+Each static operation tracks its last value and a stride.  The *two-delta*
+policy only commits a new stride after seeing the same delta twice in a
+row, which keeps one-off jumps (e.g. a pointer rewind at the end of a
+row) from destroying an established stride.  This is the "stride [3]"
+profile predictor of the paper's experimental section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.predict.base import Key, Value, ValuePredictor
+
+
+@dataclass
+class _StrideEntry:
+    last: Value
+    stride: Value = 0
+    candidate: Value = 0
+    seen: int = 1  # number of values observed for this key
+
+
+class StridePredictor(ValuePredictor):
+    """Predict ``last + stride`` with two-delta stride update."""
+
+    name = "stride"
+
+    def __init__(self, two_delta: bool = True) -> None:
+        super().__init__()
+        self.two_delta = two_delta
+        self._table: Dict[Key, _StrideEntry] = {}
+
+    def predict(self, key: Key) -> Optional[Value]:
+        entry = self._table.get(key)
+        if entry is None or entry.seen < 2:
+            # With one observation there is no delta yet; predicting
+            # last+0 would just be last-value prediction, which we allow.
+            if entry is None:
+                return None
+            return entry.last
+        return entry.last + entry.stride
+
+    def update(self, key: Key, actual: Value) -> None:
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _StrideEntry(last=actual)
+            return
+        delta = actual - entry.last
+        if self.two_delta:
+            if delta == entry.candidate:
+                entry.stride = delta
+            entry.candidate = delta
+        else:
+            entry.stride = delta
+        entry.last = actual
+        entry.seen += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._table = {}
+
+    def stride_of(self, key: Key) -> Optional[Value]:
+        """Currently committed stride for a key (diagnostics)."""
+        entry = self._table.get(key)
+        return None if entry is None else entry.stride

@@ -1,0 +1,159 @@
+"""Architectural (functional) execution of IR programs.
+
+The interpreter executes a program the way the paper's HP PA-RISC host
+executed the benchmarks during profiling: sequentially, with exact
+values.  Observers hook block entries and executed operations, which is
+how block-frequency profiling, value profiling and the dynamic
+dual-engine simulation all attach to execution without duplicating the
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode, evaluator, is_alu
+from repro.ir.operation import Imm, Operation, Reg
+from repro.ir.program import Program
+from repro.profiling.memory import Memory, Number
+
+
+class ExecutionObserver(Protocol):
+    """Hook interface for profilers and simulators."""
+
+    def block_entered(self, block: BasicBlock) -> None:
+        """Called when control enters a basic block."""
+
+    def operation_executed(
+        self, op: Operation, inputs: tuple[Number, ...], result: Optional[Number]
+    ) -> None:
+        """Called after each dynamic operation with its actual values."""
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The program ran past the configured dynamic-operation budget."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one architectural run."""
+
+    program_name: str
+    dynamic_operations: int
+    dynamic_blocks: int
+    registers: Dict[str, Number]
+    memory: Memory
+    halted: bool
+
+    @property
+    def loads_executed(self) -> int:
+        return self.memory.reads
+
+    @property
+    def stores_executed(self) -> int:
+        return self.memory.writes
+
+
+class Interpreter:
+    """Executes a program's main function to completion."""
+
+    def __init__(
+        self,
+        max_operations: int = 5_000_000,
+        strict_registers: bool = False,
+    ):
+        self.max_operations = max_operations
+        self.strict_registers = strict_registers
+
+    def run(
+        self,
+        program: Program,
+        observers: Optional[List[ExecutionObserver]] = None,
+    ) -> ExecutionResult:
+        function = program.main
+        memory = Memory(program.initial_memory)
+        registers: Dict[str, Number] = dict(program.initial_registers)
+        observers = observers or []
+
+        def read(operand: Union[Reg, Imm]) -> Number:
+            if isinstance(operand, Imm):
+                return operand.value
+            if self.strict_registers and operand.name not in registers:
+                raise KeyError(f"read of uninitialised register {operand.name}")
+            return registers.get(operand.name, 0)
+
+        executed = 0
+        blocks = 0
+        label: Optional[str] = function.entry_label
+        halted = False
+
+        while label is not None:
+            block = function.block(label)
+            blocks += 1
+            for observer in observers:
+                observer.block_entered(block)
+
+            next_label: Optional[str] = None
+            for op in block.operations:
+                executed += 1
+                if executed > self.max_operations:
+                    raise ExecutionLimitExceeded(
+                        f"{program.name}: exceeded {self.max_operations} operations"
+                    )
+                opcode = op.opcode
+                inputs = tuple(read(src) for src in op.srcs)
+                result: Optional[Number] = None
+
+                if is_alu(opcode):
+                    result = evaluator(opcode)(*inputs)
+                    registers[op.dest.name] = result
+                elif opcode is Opcode.LOAD:
+                    result = memory.load(inputs[0] + op.offset)
+                    registers[op.dest.name] = result
+                elif opcode is Opcode.STORE:
+                    memory.store(inputs[1] + op.offset, inputs[0])
+                elif opcode is Opcode.BR:
+                    next_label = op.targets[0]
+                elif opcode is Opcode.BRCOND:
+                    next_label = op.targets[0] if inputs[0] != 0 else op.targets[1]
+                elif opcode is Opcode.HALT:
+                    halted = True
+                else:
+                    raise ValueError(
+                        f"interpreter cannot execute {opcode.value}; the "
+                        "prediction forms exist only in scheduled code"
+                    )
+
+                for observer in observers:
+                    observer.operation_executed(op, inputs, result)
+
+                if halted:
+                    break
+
+            if halted:
+                break
+            if next_label is None:
+                raise RuntimeError(
+                    f"block {block.label!r} fell through without a branch"
+                )
+            label = next_label
+
+        return ExecutionResult(
+            program_name=program.name,
+            dynamic_operations=executed,
+            dynamic_blocks=blocks,
+            registers=registers,
+            memory=memory,
+            halted=halted,
+        )
+
+
+def run_program(
+    program: Program,
+    observers: Optional[List[ExecutionObserver]] = None,
+    max_operations: int = 5_000_000,
+) -> ExecutionResult:
+    """Convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(max_operations=max_operations).run(program, observers=observers)

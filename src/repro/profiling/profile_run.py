@@ -1,0 +1,54 @@
+"""One-stop profiling run: block frequencies + value profile.
+
+This is the front half of the paper's methodology: execute the benchmark
+once, collecting (a) how often each block runs and (b) how predictable
+each load's value stream is under stride and FCM prediction.  The
+resulting :class:`ProfileData` is what the speculation pass and the
+evaluation experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.program import Program
+from repro.profiling.block_profile import BlockFrequencyProfiler, BlockProfile
+from repro.profiling.interpreter import ExecutionResult, Interpreter
+from repro.profiling.value_profile import ValueProfile, ValueProfiler
+
+
+@dataclass(frozen=True)
+class ProfileData:
+    """Everything the compiler learns from a profiling run."""
+
+    program_name: str
+    blocks: BlockProfile
+    values: ValueProfile
+    execution: ExecutionResult
+
+
+def profile_program(
+    program: Program,
+    max_operations: int = 5_000_000,
+    profile_alu: bool = False,
+) -> ProfileData:
+    """Run ``program`` once and collect both profiles.
+
+    ``profile_alu=True`` additionally value-profiles long-latency ALU
+    results (mul/div/...), enabling ``SpeculationConfig.predict_alu``.
+    """
+    from repro.profiling.value_profile import LONG_LATENCY_OPCODES
+
+    block_profiler = BlockFrequencyProfiler()
+    value_profiler = ValueProfiler(
+        extra_opcodes=LONG_LATENCY_OPCODES if profile_alu else ()
+    )
+    result = Interpreter(max_operations=max_operations).run(
+        program, observers=[block_profiler, value_profiler]
+    )
+    return ProfileData(
+        program_name=program.name,
+        blocks=block_profiler.profile(),
+        values=value_profiler.profile(),
+        execution=result,
+    )

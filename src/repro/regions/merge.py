@@ -1,0 +1,92 @@
+"""Straight-line block merging.
+
+Merges a block into its successor when the edge is the only way in and
+out (A's unique successor is B, B's unique predecessor is A), growing
+the scheduling region without changing semantics.  This is the
+uncontroversial core of superblock formation; the paper expects larger
+regions (superblocks/hyperblocks) to increase value prediction's benefit
+because longer dependence chains cross a single scheduling scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+def _unique_successor(function: Function, block: BasicBlock) -> Optional[str]:
+    targets = set(block.successor_labels())
+    if len(targets) != 1:
+        return None
+    (target,) = targets
+    if target == block.label:
+        return None  # self loop
+    return target
+
+
+def _predecessor_count(function: Function, label: str) -> int:
+    return sum(
+        1 for blk in function if label in blk.successor_labels()
+    )
+
+
+def merge_straightline(function: Function) -> Function:
+    """Return a new function with all straight-line chains merged.
+
+    Operation objects are reused (their ids — and with them any value
+    profiles keyed on them — stay valid).  Merged blocks keep the chain
+    head's label; branch targets are untouched because only unique-pred/
+    unique-succ edges are merged, so no other block referenced the
+    absorbed label.
+    """
+    absorbed: set[str] = set()
+    merged_ops: Dict[str, list] = {
+        blk.label: list(blk.operations) for blk in function
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for block in function:
+            label = block.label
+            if label in absorbed:
+                continue
+            ops = merged_ops[label]
+            if not ops or not ops[-1].is_branch:
+                continue
+            # Determine the current terminator's unique successor.
+            terminator = ops[-1]
+            targets = set(terminator.targets)
+            if len(targets) != 1:
+                continue
+            (target,) = targets
+            if target == label or target in absorbed:
+                continue
+            if target == function.entry_label:
+                continue  # the entry must stay addressable
+            if _predecessor_count_dynamic(function, merged_ops, absorbed, target) != 1:
+                continue
+            # Merge: drop A's unconditional branch, splice B in.
+            merged_ops[label] = ops[:-1] + merged_ops[target]
+            absorbed.add(target)
+            changed = True
+
+    result = Function(function.name, entry_label=function.entry_label)
+    for block in function:
+        if block.label in absorbed:
+            continue
+        result.add_block(BasicBlock(block.label, merged_ops[block.label]))
+    return result
+
+
+def _predecessor_count_dynamic(function, merged_ops, absorbed, label: str) -> int:
+    count = 0
+    for block in function:
+        if block.label in absorbed:
+            continue
+        ops = merged_ops[block.label]
+        if ops and ops[-1].is_branch and label in ops[-1].targets:
+            count += 1
+    return count

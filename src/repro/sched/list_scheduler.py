@@ -1,0 +1,119 @@
+"""Resource-constrained list scheduling of basic blocks.
+
+The scheduler is the cycle-driven list scheduler of VLIW compilers: keep a
+ready list ordered by priority (dependence height by default); each cycle,
+issue ready operations into free functional units up to the issue width;
+an operation becomes ready when every dependence predecessor has issued
+and its edge distance has elapsed.
+
+This single scheduler serves both the original code (paper Figure 2) and
+the speculation-transformed code (Figure 3) — the transformation changes
+the dependence graph, not the scheduling algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.ddg.builder import build_ddg
+from repro.ddg.critical_path import analyze
+from repro.ddg.graph import DependenceGraph
+from repro.ir.block import BasicBlock
+from repro.machine.description import MachineDescription
+from repro.machine.resources import ReservationTable
+from repro.sched.priorities import PRIORITY_FACTORIES, PriorityFn
+from repro.sched.schedule import Schedule
+
+
+class ListScheduler:
+    """Schedules one dependence graph onto one machine."""
+
+    def __init__(self, machine: MachineDescription, priority: str = "height"):
+        if priority not in PRIORITY_FACTORIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; available: {sorted(PRIORITY_FACTORIES)}"
+            )
+        self.machine = machine
+        self.priority_name = priority
+
+    def schedule_graph(self, label: str, graph: DependenceGraph) -> Schedule:
+        """Produce a schedule for a pre-built dependence graph."""
+        machine = self.machine
+        analysis = analyze(graph, machine)
+        priority: PriorityFn = PRIORITY_FACTORIES[self.priority_name](analysis)
+
+        schedule = Schedule(label, machine)
+        if not len(graph):
+            return schedule
+
+        remaining_preds = {
+            op.op_id: len(graph.predecessors(op.op_id)) for op in graph.operations
+        }
+        # earliest data-ready cycle given already-issued predecessors
+        ready_at = {op.op_id: 0 for op in graph.operations}
+
+        # Max-heap of (negated priority, op_id) for ops whose preds have
+        # all issued; an entry may still have ready_at in the future.
+        heap: list[tuple[tuple, int]] = []
+        for op in graph.operations:
+            if remaining_preds[op.op_id] == 0:
+                heapq.heappush(heap, (_neg(priority(op.op_id)), op.op_id))
+
+        table = ReservationTable(machine.pool, machine.issue_width)
+        unscheduled = len(graph)
+        cycle = 0
+        guard = 0
+        while unscheduled:
+            guard += 1
+            if guard > 1_000_000:
+                raise RuntimeError(f"scheduler failed to converge on block {label!r}")
+
+            # Issue passes repeat within the cycle because a zero-weight
+            # (anti/control) edge can make an operation ready in the very
+            # cycle its predecessor issues.
+            while True:
+                deferred: list[tuple[tuple, int]] = []
+                issued_this_pass = False
+                while heap:
+                    key, op_id = heapq.heappop(heap)
+                    op = graph.operation(op_id)
+                    fu = machine.fu_class(op.opcode)
+                    if ready_at[op_id] > cycle or not table.can_issue(cycle, fu):
+                        deferred.append((key, op_id))
+                        continue
+                    table.issue(cycle, fu)
+                    schedule.place(op, cycle)
+                    issued_this_pass = True
+                    unscheduled -= 1
+                    for edge in graph.successors(op_id):
+                        ready_at[edge.dst] = max(ready_at[edge.dst], cycle + edge.weight)
+                        remaining_preds[edge.dst] -= 1
+                        if remaining_preds[edge.dst] == 0:
+                            deferred.append((_neg(priority(edge.dst)), edge.dst))
+                for item in deferred:
+                    heapq.heappush(heap, item)
+                if not issued_this_pass:
+                    break
+            cycle += 1
+
+        return schedule
+
+    def schedule_block(self, block: BasicBlock) -> Schedule:
+        """Build the block's dependence graph and schedule it."""
+        graph = build_ddg(block, self.machine)
+        return self.schedule_graph(block.label, graph)
+
+
+def _neg(key: tuple) -> tuple:
+    """Negate a priority key so a min-heap yields the max first."""
+    return tuple(-k for k in key)
+
+
+def schedule_block(
+    block: BasicBlock,
+    machine: MachineDescription,
+    priority: str = "height",
+) -> Schedule:
+    """Convenience wrapper: schedule one block on one machine."""
+    return ListScheduler(machine, priority=priority).schedule_block(block)

@@ -1,0 +1,49 @@
+"""List-scheduling priority functions.
+
+A priority function maps an operation id to a sortable key; *larger* keys
+schedule first.  The default — dependence height with source order as the
+tie-break — is the classic choice and the one a Trimaran-style list
+scheduler uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ddg.critical_path import PathAnalysis
+
+PriorityFn = Callable[[int], tuple]
+
+
+def height_priority(analysis: PathAnalysis) -> PriorityFn:
+    """Prefer operations with the greatest remaining dependence height."""
+
+    def priority(op_id: int) -> tuple:
+        return (analysis.height[op_id], -op_id)
+
+    return priority
+
+
+def slack_priority(analysis: PathAnalysis) -> PriorityFn:
+    """Prefer operations with the least slack (most critical first)."""
+
+    def priority(op_id: int) -> tuple:
+        return (-analysis.slack(op_id), analysis.height[op_id], -op_id)
+
+    return priority
+
+
+def source_order_priority() -> PriorityFn:
+    """Schedule in program order (a deliberately weak baseline)."""
+
+    def priority(op_id: int) -> tuple:
+        return (-op_id,)
+
+    return priority
+
+
+PRIORITY_FACTORIES: Dict[str, Callable[[PathAnalysis], PriorityFn]] = {
+    "height": height_priority,
+    "slack": slack_priority,
+    "source": lambda analysis: source_order_priority(),
+}

@@ -1,0 +1,1 @@
+"""Command-line inspection tooling built on the public library API."""

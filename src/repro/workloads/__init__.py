@@ -1,0 +1,19 @@
+"""Synthetic SPEC95-like workloads with controlled value predictability."""
+
+from repro.workloads.suite import (
+    BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+    load_suite,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "benchmark_names",
+    "load_benchmark",
+    "load_suite",
+]

@@ -1,0 +1,96 @@
+"""Synthetic ``compress`` (SPEC INT 95 129.compress stand-in).
+
+LZW-style compression: a scan loop hashes input bytes and probes a code
+table (two chained loads — the classic compress bottleneck), and an
+output loop packs codes into a bit stream.  Input bytes cycle through a
+short alphabet with occasional noise (text-like, FCM-friendly); the code
+table is warm and mostly stable, so table-probe loads predict well.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+INPUT_BASE = 10_000
+TABLE_BASE = 20_000
+CODES_BASE = 30_000
+OUTPUT_BASE = 40_000
+
+_TABLE_MASK = 255
+
+
+def _scan_body(fb: FunctionBuilder) -> None:
+    # Read the next input byte (address strides with the counter).
+    fb.add("r_in_addr", "r_i", INPUT_BASE)
+    fb.load("r_byte", "r_in_addr")
+    # Hash: ((byte << 3) ^ prefix) & mask — a dependent integer chain.
+    fb.shl("r_h1", "r_byte", 3)
+    fb.xor("r_h2", "r_h1", "r_prefix")
+    fb.and_("r_hash", "r_h2", _TABLE_MASK)
+    # Probe the code table: the second load depends on the first load's
+    # value through the hash (the chain value prediction breaks).
+    fb.add("r_t_addr", "r_hash", TABLE_BASE)
+    fb.load("r_code", "r_t_addr")
+    # New prefix and output code computation: a serial chain on the
+    # probed code (entry comparison, ratio update, code packing).
+    fb.add("r_sum", "r_code", "r_byte")
+    fb.mul("r_out2", "r_sum", 9)
+    fb.and_("r_prefix", "r_sum", 1023)
+    # Emit the code.
+    fb.add("r_o_addr", "r_i", CODES_BASE)
+    fb.store("r_out2", "r_o_addr")
+
+
+def _pack_body(fb: FunctionBuilder) -> None:
+    # Read back an emitted code (value stream written by the scan loop).
+    fb.add("r_c_addr", "r_j", CODES_BASE)
+    fb.load("r_cval", "r_c_addr")
+    # Bit packing: shift into the accumulator, mask, store a word.
+    fb.shl("r_sh", "r_cval", 4)
+    fb.or_("r_acc", "r_acc", "r_sh")
+    fb.and_("r_word", "r_acc", 65_535)
+    fb.shr("r_acc", "r_acc", 8)
+    fb.add("r_p_addr", "r_j", OUTPUT_BASE)
+    fb.store("r_word", "r_p_addr")
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the compress stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0xC0_4E55)
+    trips = max(8, int(320 * scale))
+
+    pb = ProgramBuilder("compress")
+    fb = pb.function()
+
+    def prologue(fb: FunctionBuilder) -> None:
+        fb.mov("r_prefix", 0)
+        fb.mov("r_acc", 0)
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("scan", trips, "r_i", _scan_body),
+            LoopSpec("pack", trips, "r_j", _pack_body),
+        ],
+        prologue=prologue,
+    )
+    pb.add(fb.build())
+
+    # Text-like input: a short alphabet cycled with occasional noise, so
+    # the byte load is FCM-predictable at a moderate rate.
+    alphabet = [101, 32, 116, 101]
+    stream = values.repeating(trips, alphabet)
+    for i in range(trips):
+        if rng.random() < 0.10:
+            stream[i] = rng.randrange(256)
+    pb.memory(INPUT_BASE, stream)
+    # A warm code table: entries mostly stable (repeat probes hit the
+    # same codes), giving high predictability to the table load.
+    pb.memory(TABLE_BASE, values.mostly_constant(
+        _TABLE_MASK + 1, rng, value=257, flip_rate=0.1, other=409))
+    return pb.build()

@@ -1,0 +1,88 @@
+"""Synthetic ``ijpeg`` (SPEC INT 95 132.ijpeg stand-in).
+
+Image compression: a DCT/quantisation loop multiplying pixel data by
+quantisation-table coefficients (the table cycles every 8 entries —
+perfectly FCM-predictable, as the real quant tables are), and a
+Huffman-style encoding loop over mostly-zero coefficients.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+PIXELS_BASE = 10_000
+QTABLE_BASE = 20_000
+COEFF_BASE = 30_000
+HUFF_BASE = 40_000
+OUT_BASE = 50_000
+
+_QUANT = [16, 11, 10, 16, 24, 40, 51, 61]
+
+
+def _dct_body(fb: FunctionBuilder) -> None:
+    # The quantisation coefficient cycles with period 8: FCM nails it.
+    fb.and_("r_qi", "r_i", 7)
+    fb.add("r_q_addr", "r_qi", QTABLE_BASE)
+    fb.load("r_q", "r_q_addr")
+    # Pixel fetch: smooth image data, moderately predictable.
+    fb.add("r_p_addr", "r_i", PIXELS_BASE)
+    fb.load("r_pix", "r_p_addr")
+    # Butterfly-ish arithmetic: the 3-cycle multiplies give the loads a
+    # long dependent chain to hide.
+    fb.mul("r_m1", "r_pix", "r_q")
+    fb.mul("r_m2", "r_pix", 181)
+    fb.add("r_s1", "r_m1", "r_m2")
+    fb.shr("r_dct", "r_s1", 7)
+    fb.add("r_c_addr", "r_i", COEFF_BASE)
+    fb.store("r_dct", "r_c_addr")
+
+
+def _huffman_body(fb: FunctionBuilder) -> None:
+    # Coefficients after quantisation are mostly zero.
+    fb.add("r_h_addr", "r_j", HUFF_BASE)
+    fb.load("r_coef", "r_h_addr")
+    fb.cmpne("r_nz", "r_coef", 0)
+    # Code-length chain: depends on the coefficient value.
+    fb.shl("r_len", "r_nz", 2)
+    fb.add("r_bits", "r_len", 3)
+    fb.mul("r_packed", "r_coef", "r_bits")
+    fb.add("r_stream", "r_packed", "r_run")
+    fb.add("r_run", "r_run", 1)
+    fb.add("r_w_addr", "r_j", OUT_BASE)
+    fb.store("r_stream", "r_w_addr")
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the ijpeg stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0x1A9E6)
+    trips = max(8, int(300 * scale))
+
+    pb = ProgramBuilder("ijpeg")
+    fb = pb.function()
+
+    def prologue(fb: FunctionBuilder) -> None:
+        fb.mov("r_run", 0)
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("dct", trips, "r_i", _dct_body),
+            LoopSpec("huffman", max(8, trips // 2), "r_j", _huffman_body),
+        ],
+        prologue=prologue,
+    )
+    pb.add(fb.build())
+
+    pb.memory(QTABLE_BASE, _QUANT)
+    # Smooth image row: neighbouring pixels close in value, so the pixel
+    # load predicts at a middling rate under stride.
+    pixels = values.noisy_strided(trips, rng, start=120, stride=1, break_rate=0.3, jump=40)
+    pb.memory(PIXELS_BASE, [p % 256 for p in pixels])
+    # Sparse coefficients: mostly zero with occasional energy.
+    pb.memory(HUFF_BASE, values.random_values(max(8, trips // 2), rng, 0, 64))
+    return pb.build()

@@ -1,0 +1,77 @@
+"""Shared scaffolding for building benchmark kernels.
+
+Benchmarks are small multi-loop IR programs.  The helpers here keep each
+benchmark module focused on the interesting part — the loop body's
+dependence structure and the value behaviour of its loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.builder import FunctionBuilder
+
+BodyFn = Callable[[FunctionBuilder], None]
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One counted loop: a single-block body repeated ``trips`` times."""
+
+    label: str
+    trips: int
+    counter: str
+    body: BodyFn
+    step: int = 1
+
+
+def emit_counted_loop(
+    fb: FunctionBuilder,
+    spec: LoopSpec,
+    next_label: str,
+) -> None:
+    """Emit ``spec`` as one basic block ending in a conditional branch.
+
+    The caller must have initialised ``spec.counter`` to zero (or any
+    start) before branching to ``spec.label``.  The body is emitted
+    first, then the counter increment, limit compare and branch — so the
+    whole iteration is a single block, the unit of scheduling and
+    speculation throughout this reproduction (the paper schedules basic
+    blocks; it notes hyperblocks/superblocks would only increase the
+    benefit).
+    """
+    if spec.trips < 1:
+        raise ValueError(f"loop {spec.label!r} needs at least one trip")
+    cond = f"{spec.counter}_cond"
+    fb.block(spec.label)
+    spec.body(fb)
+    fb.add(spec.counter, spec.counter, spec.step)
+    fb.cmplt(cond, spec.counter, spec.trips * spec.step)
+    fb.brcond(cond, spec.label, next_label)
+
+
+def chain_loops(
+    fb: FunctionBuilder,
+    loops: list[LoopSpec],
+    prologue: Optional[BodyFn] = None,
+    exit_label: str = "exit",
+) -> None:
+    """Emit an entry block, the loops in sequence, and a halting exit.
+
+    The entry block zeroes every loop counter and runs ``prologue``
+    (typically base-address set-up).
+    """
+    if not loops:
+        raise ValueError("need at least one loop")
+    fb.block("entry")
+    if prologue is not None:
+        prologue(fb)
+    for spec in loops:
+        fb.mov(spec.counter, 0)
+    fb.br(loops[0].label)
+    for i, spec in enumerate(loops):
+        following = loops[i + 1].label if i + 1 < len(loops) else exit_label
+        emit_counted_loop(fb, spec, following)
+    fb.block(exit_label)
+    fb.halt()

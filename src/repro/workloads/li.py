@@ -1,0 +1,118 @@
+"""Synthetic ``li`` (SPEC INT 95 130.li, the XLISP interpreter, stand-in).
+
+Pointer-chasing over cons cells: a list-walk loop following ``cdr``
+pointers and touching ``car`` payloads, and a tag-dispatch loop modelled
+on the interpreter's eval switch.  The cons heap is mostly sequentially
+allocated with some fragmentation, so next-pointer loads are stride-
+predictable at a moderate rate — the classic li behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+HEAP_BASE = 10_000
+TAGS_BASE = 60_000
+ENV_BASE = 70_000
+RESULT_BASE = 80_000
+MARKS_BASE = 90_000
+
+_NODE_SIZE = 4
+
+
+def _walk_body(fb: FunctionBuilder) -> None:
+    # Follow the cdr pointer: the address for everything below.
+    fb.load("r_next", "r_ptr")
+    # Touch the car payload of the *next* cell (depends on r_next).
+    fb.load("r_car", "r_next", offset=1)
+    # Interpreter work on the payload.
+    fb.add("r_v1", "r_car", "r_sum")
+    fb.and_("r_v2", "r_v1", 4095)
+    fb.add("r_sum", "r_v2", 1)
+    fb.add("r_r_addr", "r_i", RESULT_BASE)
+    fb.store("r_sum", "r_r_addr")
+    fb.mov("r_ptr", "r_next")
+
+
+def _gc_body(fb: FunctionBuilder) -> None:
+    # Mark phase of a stop-the-world collection: visit cells in address
+    # order and test their mark words (effectively unpredictable).
+    fb.add("r_g_addr", "r_k", MARKS_BASE)
+    fb.load("r_mark", "r_g_addr")
+    fb.and_("r_m1", "r_mark", 1)
+    fb.add("r_live", "r_live", "r_m1")
+    fb.xor("r_m2", "r_mark", "r_live")
+    fb.store("r_m2", "r_g_addr", offset=8192)
+
+
+def _eval_body(fb: FunctionBuilder) -> None:
+    # Load an expression tag: interpreters see highly repetitive tag
+    # streams (FIXNUM, CONS, SYMBOL, ...), an FCM sweet spot.
+    fb.add("r_t_addr", "r_j", TAGS_BASE)
+    fb.load("r_tag", "r_t_addr")
+    # Dispatch chain on the tag: handler index computation.
+    fb.and_("r_kind", "r_tag", 7)
+    fb.shl("r_slot", "r_kind", 2)
+    fb.add("r_h1", "r_slot", "r_kind")
+    fb.mul("r_h2", "r_h1", 3)
+    # Environment read indexed by position (not tag-dependent).
+    fb.and_("r_e_idx", "r_j", 63)
+    fb.add("r_e_addr", "r_e_idx", ENV_BASE)
+    fb.load("r_env", "r_e_addr")
+    fb.add("r_acc", "r_env", "r_h2")
+    fb.add("r_w_addr", "r_j", RESULT_BASE)
+    fb.store("r_acc", "r_w_addr", offset=2048)
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the li stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0x11597)
+    trips = max(8, int(280 * scale))
+
+    pb = ProgramBuilder("li")
+    fb = pb.function()
+
+    def prologue(fb: FunctionBuilder) -> None:
+        fb.mov("r_ptr", HEAP_BASE)
+        fb.mov("r_sum", 0)
+        fb.mov("r_live", 0)
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("walk", trips, "r_i", _walk_body),
+            LoopSpec("eval", trips, "r_j", _eval_body),
+            LoopSpec("gc", trips * 2, "r_k", _gc_body),
+        ],
+        prologue=prologue,
+    )
+    pb.add(fb.build())
+
+    # A cons heap: mostly sequential allocation, a quarter fragmented.
+    node_count = max(trips + 1, 16)
+    heap = values.linked_list_nodes(
+        count=node_count,
+        base=HEAP_BASE,
+        node_size=_NODE_SIZE,
+        rng=rng,
+        fragmentation=0.25,
+        payload_values=values.noisy_strided(
+            node_count, rng, start=4, stride=3, break_rate=0.08, jump=100
+        ),
+    )
+    for address, value in heap.items():
+        pb.memory(address, [value])
+    # Tag stream: heavily repetitive with occasional surprises.
+    tags = values.repeating(trips, [1, 3, 1, 5])
+    for i in range(trips):
+        if rng.random() < 0.05:
+            tags[i] = rng.randrange(8)
+    pb.memory(TAGS_BASE, tags)
+    pb.memory(ENV_BASE, values.strided(64, start=900, stride=13))
+    pb.memory(MARKS_BASE, values.random_values(trips * 2, rng, 0, 4096))
+    return pb.build()

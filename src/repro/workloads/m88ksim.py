@@ -1,0 +1,118 @@
+"""Synthetic ``m88ksim`` (SPEC INT 95 124.m88ksim stand-in).
+
+A CPU simulator simulating a CPU: the fetch/decode/execute loop reads an
+instruction word from the simulated instruction memory (the simulated
+program is itself a loop, so the instruction-word stream repeats —
+extremely FCM-predictable, which is exactly why m88ksim was a famous
+value-prediction winner), decodes it through a long chain of shifts and
+masks, reads a simulated register, executes and writes back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+IMEM_BASE = 10_000
+REGS_BASE = 20_000
+DMEM_BASE = 30_000
+STATS_BASE = 40_000
+TRACE_BASE = 50_000
+
+_SIM_LOOP_LEN = 16  # length of the simulated program's inner loop (power of two)
+
+
+def _cycle_body(fb: FunctionBuilder) -> None:
+    # Fetch: the simulated pc comes from a branch-resolved trace (the
+    # simulated program mostly loops but occasionally takes a branch, so
+    # the pc stream — and with it the fetched instruction word — repeats
+    # imperfectly).
+    fb.add("r_t_addr", "r_i", TRACE_BASE)
+    fb.load("r_pc", "r_t_addr")
+    fb.add("r_f_addr", "r_pc", IMEM_BASE)
+    fb.load("r_insn", "r_f_addr")
+    # Decode: a long dependent chain over the fetched word.  Every stage
+    # needs the previous one, so predicting the instruction word removes
+    # a deep serial bottleneck.
+    fb.shr("r_rs_raw", "r_insn", 21)
+    fb.and_("r_rs", "r_rs_raw", 31)
+    fb.xor("r_d1", "r_rs", "r_insn")
+    fb.and_("r_d2", "r_d1", 1023)
+    fb.or_("r_d3", "r_d2", 64)
+    # Register read (depends on the decoded source register number).
+    fb.add("r_rf_addr", "r_d3", REGS_BASE)
+    fb.load("r_rsval", "r_rf_addr")
+    # Execute.
+    fb.and_("r_imm", "r_insn", 65_535)
+    fb.add("r_alu", "r_rsval", "r_imm")
+    fb.mul("r_res", "r_alu", 3)
+    fb.add("r_wb", "r_res", "r_icount")
+    # Writeback + statistics.
+    fb.add("r_d_addr", "r_rs", DMEM_BASE)
+    fb.store("r_wb", "r_d_addr")
+    fb.add("r_icount", "r_icount", 1)
+
+
+def _stats_body(fb: FunctionBuilder) -> None:
+    # Histogram pass over executed-opcode counters.
+    fb.add("r_s_addr", "r_j", STATS_BASE)
+    fb.load("r_cnt", "r_s_addr")
+    fb.add("r_c1", "r_cnt", 1)
+    fb.mul("r_c2", "r_c1", 2)
+    fb.shr("r_c3", "r_c2", 1)
+    fb.store("r_c3", "r_s_addr")
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the m88ksim stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0x88000)
+    trips = max(_SIM_LOOP_LEN * 2, int(336 * scale))
+
+    pb = ProgramBuilder("m88ksim")
+    fb = pb.function()
+
+    def prologue(fb: FunctionBuilder) -> None:
+        fb.mov("r_icount", 0)
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("cycle", trips, "r_i", _cycle_body),
+            LoopSpec("stats", trips, "r_j", _stats_body),
+        ],
+        prologue=prologue,
+    )
+    pb.add(fb.build())
+
+    # The simulated program: a fixed loop of instruction words, so the
+    # fetch load's value stream has period _SIM_LOOP_LEN.
+    sim_program = [
+        (op << 26) | (rs << 21) | imm
+        for op, rs, imm in [
+            (2, 1, 4), (2, 2, 8), (5, 1, 0), (2, 3, 1),
+            (9, 2, 12), (2, 1, 5), (5, 3, 2), (2, 4, 16),
+            (9, 1, 0), (2, 2, 9), (5, 4, 6), (7, 0, 0),
+            (2, 5, 3), (5, 2, 11), (9, 3, 1), (7, 1, 2),
+        ]
+    ]
+    pb.memory(IMEM_BASE, sim_program)
+    # The pc trace: the simulated program's loop body in order, with a
+    # taken branch (jump back or out) about one iteration in seven.
+    trace = []
+    pc = 0
+    for _ in range(trips):
+        trace.append(pc)
+        if rng.random() < 0.06:
+            pc = rng.randrange(_SIM_LOOP_LEN)
+        else:
+            pc = (pc + 1) % _SIM_LOOP_LEN
+    pb.memory(TRACE_BASE, trace)
+    # Simulated register file: mostly stable values (registers hold loop
+    # invariants), occasionally rewritten.
+    pb.memory(REGS_BASE, values.mostly_constant(1100, rng, value=77, flip_rate=0.2, other=5))
+    pb.memory(STATS_BASE, values.random_values(trips, rng, 0, 50))
+    return pb.build()

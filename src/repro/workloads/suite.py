@@ -1,0 +1,59 @@
+"""The benchmark suite: the eight SPEC95 stand-ins of the paper's tables.
+
+Order matches the paper: five SPEC INT 95 programs (compress, ijpeg, li,
+m88ksim, vortex) followed by three SPEC FP 95 programs (hydro2d, swim,
+tomcatv).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.program import Program
+from repro.workloads import (
+    compress,
+    hydro2d,
+    ijpeg,
+    li,
+    m88ksim,
+    swim,
+    tomcatv,
+    vortex,
+)
+
+Builder = Callable[..., Program]
+
+#: Benchmarks in the paper's table order.
+BENCHMARKS: Dict[str, Builder] = {
+    "compress": compress.build,
+    "ijpeg": ijpeg.build,
+    "li": li.build,
+    "m88ksim": m88ksim.build,
+    "vortex": vortex.build,
+    "hydro2d": hydro2d.build,
+    "swim": swim.build,
+    "tomcatv": tomcatv.build,
+}
+
+INT_BENCHMARKS: List[str] = ["compress", "ijpeg", "li", "m88ksim", "vortex"]
+FP_BENCHMARKS: List[str] = ["hydro2d", "swim", "tomcatv"]
+
+
+def benchmark_names() -> List[str]:
+    return list(BENCHMARKS)
+
+
+def load_benchmark(name: str, scale: float = 1.0) -> Program:
+    """Build one benchmark by name."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None
+    return builder(scale=scale)
+
+
+def load_suite(scale: float = 1.0) -> Dict[str, Program]:
+    """Build the whole suite (deterministic: fixed per-benchmark seeds)."""
+    return {name: builder(scale=scale) for name, builder in BENCHMARKS.items()}

@@ -1,0 +1,93 @@
+"""Synthetic ``swim`` (SPEC FP 95 102.swim stand-in).
+
+Shallow-water equations on a grid.  The loop bodies are *wide*: several
+independent FP chains of similar depth run in parallel, so the critical
+path is set by FP latency rather than by any single load.  Predicting
+the (highly predictable) coefficient load only trims the longest chain by
+a cycle or two — which is exactly why the paper measures swim's best-case
+schedule fraction at 0.98, the weakest improvement in the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+U_BASE = 10_000
+V_BASE = 20_000
+P_BASE = 30_000
+CORIOLIS_BASE = 40_000
+UNEW_BASE = 50_000
+VNEW_BASE = 60_000
+
+
+def _momentum_body(fb: FunctionBuilder) -> None:
+    # Chain A (longest): coriolis coefficient -> three dependent FP ops.
+    fb.add("r_c_addr", "r_i", CORIOLIS_BASE)
+    fb.load("f_cor", "r_c_addr")
+    fb.fmul("f_a1", "f_cor", "f_cor")
+    fb.fadd("f_a2", "f_a1", 0.25)
+    fb.fmul("f_a3", "f_a2", 2.0)
+    # Chain B (independent): u-velocity update.
+    fb.add("r_u_addr", "r_i", U_BASE)
+    fb.load("f_u", "r_u_addr")
+    fb.fadd("f_b1", "f_u", 1.0)
+    fb.fmul("f_b2", "f_b1", 0.5)
+    # Chain C (independent): v-velocity update.
+    fb.add("r_v_addr", "r_i", V_BASE)
+    fb.load("f_v", "r_v_addr")
+    fb.fadd("f_c1", "f_v", 2.0)
+    fb.fmul("f_c2", "f_c1", 0.5)
+    # Join and store.
+    fb.fadd("f_un", "f_a3", "f_b2")
+    fb.fadd("f_vn", "f_a3", "f_c2")
+    fb.add("r_un_addr", "r_i", UNEW_BASE)
+    fb.store("f_un", "r_un_addr")
+    fb.add("r_vn_addr", "r_i", VNEW_BASE)
+    fb.store("f_vn", "r_vn_addr")
+
+
+def _pressure_body(fb: FunctionBuilder) -> None:
+    fb.add("r_p_addr", "r_j", P_BASE)
+    fb.load("f_p", "r_p_addr")
+    fb.add("r_u2_addr", "r_j", UNEW_BASE)
+    fb.load("f_u2", "r_u2_addr")
+    fb.fmul("f_q1", "f_p", 0.9)
+    fb.fadd("f_q2", "f_q1", "f_u2")
+    fb.add("r_pn_addr", "r_j", P_BASE)
+    fb.store("f_q2", "r_pn_addr", offset=4096)
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the swim stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0x102511)
+    trips = max(16, int(300 * scale))
+
+    pb = ProgramBuilder("swim")
+    fb = pb.function()
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("momentum", trips, "r_i", _momentum_body),
+            LoopSpec("pressure", trips, "r_j", _pressure_body),
+        ],
+    )
+    pb.add(fb.build())
+
+    # Coriolis force: constant per latitude band (long constant runs).
+    coriolis = []
+    f = 0.5
+    for i in range(trips):
+        if i % 64 == 63:
+            f += 0.01
+        coriolis.append(f)
+    pb.memory(CORIOLIS_BASE, coriolis)
+    pb.memory(U_BASE, values.smooth_field(trips, rng, scale=10.0))
+    pb.memory(V_BASE, values.smooth_field(trips, rng, scale=10.0))
+    pb.memory(P_BASE, values.smooth_field(trips, rng, scale=100.0))
+    return pb.build()

@@ -1,0 +1,107 @@
+"""Random-but-valid synthetic programs for fuzzing the full pipeline.
+
+:func:`random_program` generates an executable multi-loop program with a
+randomly shaped dependence structure and randomly characterised value
+streams (strided / repeating / noisy / random arrays).  The generator is
+deterministic in its seed, making failures reproducible, and every
+program it emits passes the IR verifier and halts under the interpreter.
+
+These programs power the end-to-end fuzz tests: profile -> speculate ->
+schedule -> dual-engine simulation must hold its invariants on *any*
+program, not just the hand-built suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+_ARRAY_BASES = (10_000, 20_000, 30_000, 40_000)
+_OUT_BASE = 90_000
+
+
+def _random_body(rng: random.Random, counter: str, loop_index: int, size: int):
+    """Build a loop-body emitter touching random registers and arrays."""
+    pool = [f"r{loop_index}_{i}" for i in range(6)]
+
+    def body(fb: FunctionBuilder) -> None:
+        defined: List[str] = []
+
+        def operand():
+            if defined and rng.random() < 0.7:
+                return rng.choice(defined)
+            return rng.randrange(1, 64)
+
+        for position in range(size):
+            dest = rng.choice(pool)
+            choice = rng.random()
+            if choice < 0.3:
+                base = rng.choice(_ARRAY_BASES)
+                addr = f"{dest}_addr"
+                fb.add(addr, counter, base)
+                fb.load(dest, addr)
+            elif choice < 0.5:
+                fb.mul(dest, operand(), operand())
+            elif choice < 0.85:
+                fb.add(dest, operand(), operand())
+            else:
+                fb.xor(dest, operand(), operand())
+            defined.append(dest)
+        # Always produce an observable result so DCE-style reasoning
+        # cannot trivialise the block.
+        out_addr = f"r{loop_index}_out"
+        fb.add(out_addr, counter, _OUT_BASE + loop_index * 1000)
+        fb.store(rng.choice(defined) if defined else counter, out_addr)
+
+    return body
+
+
+def random_program(
+    seed: int,
+    max_loops: int = 3,
+    max_body_size: int = 10,
+    trips: int = 60,
+) -> Program:
+    """Generate a deterministic pseudo-random program.
+
+    Args:
+        seed: generator seed; equal seeds give identical programs.
+        max_loops: up to this many sequential counted loops.
+        max_body_size: up to this many random body operations per loop.
+        trips: iterations per loop.
+    """
+    rng = random.Random(seed)
+    pb = ProgramBuilder(f"synthetic-{seed}")
+    fb = pb.function()
+
+    n_loops = rng.randint(1, max_loops)
+    loops = [
+        LoopSpec(
+            label=f"loop{i}",
+            trips=trips,
+            counter=f"i{i}",
+            body=_random_body(rng, f"i{i}", i, rng.randint(1, max_body_size)),
+        )
+        for i in range(n_loops)
+    ]
+    chain_loops(fb, loops)
+    pb.add(fb.build())
+
+    # Arrays with a spread of value characters, so some loads profile as
+    # predictable and others do not.
+    pb.memory(_ARRAY_BASES[0], values.strided(trips, start=5, stride=3))
+    pb.memory(
+        _ARRAY_BASES[1],
+        values.repeating(trips, [rng.randrange(100) for _ in range(4)]),
+    )
+    pb.memory(
+        _ARRAY_BASES[2],
+        values.noisy_strided(trips, rng, stride=2, break_rate=0.3),
+    )
+    pb.memory(_ARRAY_BASES[3], values.random_values(trips, rng))
+    return pb.build()

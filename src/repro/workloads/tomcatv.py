@@ -1,0 +1,89 @@
+"""Synthetic ``tomcatv`` (SPEC FP 95 101.tomcatv stand-in).
+
+Vectorised mesh generation: residual loops over x/y coordinate arrays
+with wide, mostly independent FP chains, plus a relaxation loop carrying
+per-row weights that are constant across the sweep (predictable).  Like
+swim, the abundant ILP leaves value prediction little to improve — the
+paper reports a best-case schedule fraction of 0.95.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads import values
+from repro.workloads.kernels import LoopSpec, chain_loops
+
+X_BASE = 10_000
+Y_BASE = 20_000
+WEIGHT_BASE = 30_000
+RX_BASE = 40_000
+RY_BASE = 50_000
+
+
+def _residual_body(fb: FunctionBuilder) -> None:
+    # Relaxation weight: constant across the sweep (row-invariant).
+    fb.add("r_w_addr", "r_i", WEIGHT_BASE)
+    fb.load("f_w", "r_w_addr")
+    fb.fmul("f_w1", "f_w", "f_w")
+    fb.fadd("f_w2", "f_w1", 0.125)
+    fb.fadd("f_w3", "f_w2", 4.0)
+    # Coordinate chains (independent of the weight chain).
+    fb.add("r_x_addr", "r_i", X_BASE)
+    fb.load("f_x", "r_x_addr")
+    fb.fmul("f_x1", "f_x", 2.0)
+    fb.fsub("f_x2", "f_x1", 1.0)
+    fb.add("r_y_addr", "r_i", Y_BASE)
+    fb.load("f_y", "r_y_addr")
+    fb.fmul("f_y1", "f_y", 2.0)
+    fb.fsub("f_y2", "f_y1", 1.0)
+    # Residuals.
+    fb.fadd("f_rx", "f_w3", "f_x2")
+    fb.fadd("f_ry", "f_w3", "f_y2")
+    fb.add("r_rx_addr", "r_i", RX_BASE)
+    fb.store("f_rx", "r_rx_addr")
+    fb.add("r_ry_addr", "r_i", RY_BASE)
+    fb.store("f_ry", "r_ry_addr")
+
+
+def _relax_body(fb: FunctionBuilder) -> None:
+    fb.add("r_r_addr", "r_j", RX_BASE)
+    fb.load("f_r", "r_r_addr")
+    fb.add("r_c_addr", "r_j", X_BASE)
+    fb.load("f_c", "r_c_addr")
+    fb.fmul("f_s1", "f_r", 0.7)
+    fb.fadd("f_s2", "f_s1", "f_c")
+    fb.add("r_o_addr", "r_j", X_BASE)
+    fb.store("f_s2", "r_o_addr", offset=4096)
+
+
+def build(scale: float = 1.0) -> Program:
+    """Build the tomcatv stand-in (``scale`` multiplies trip counts)."""
+    rng = random.Random(0x101F01)
+    trips = max(16, int(300 * scale))
+
+    pb = ProgramBuilder("tomcatv")
+    fb = pb.function()
+
+    chain_loops(
+        fb,
+        [
+            LoopSpec("residual", trips, "r_i", _residual_body),
+            LoopSpec("relax", trips, "r_j", _relax_body),
+        ],
+    )
+    pb.add(fb.build())
+
+    # Row weights: constant for a whole row of the mesh (128 cells).
+    weights = []
+    w = 0.3
+    for i in range(trips):
+        if i % 128 == 127:
+            w += 0.05
+        weights.append(w)
+    pb.memory(WEIGHT_BASE, weights)
+    pb.memory(X_BASE, values.smooth_field(trips, rng, scale=5.0))
+    pb.memory(Y_BASE, values.smooth_field(trips, rng, scale=5.0))
+    return pb.build()

@@ -1,0 +1,145 @@
+"""Value-stream generators with controlled predictability.
+
+The paper's experiments hinge on each load's *value predictability* under
+stride and FCM prediction.  Since SPEC95 inputs are unavailable, each
+synthetic benchmark lays out memory arrays whose contents produce value
+streams of a chosen character when walked by the benchmark's loads:
+
+* :func:`strided` — arithmetic sequences (stride-predictable);
+* :func:`noisy_strided` — stride sequences with occasional breaks,
+  giving prediction rates tunable between 0 and 1;
+* :func:`repeating` — short cyclic patterns (FCM-predictable, stride-
+  hostile);
+* :func:`random_values` — unpredictable streams;
+* :func:`mostly_constant` — constants with rare flips (both predictors
+  do well);
+* :func:`linked_list_nodes` — pointer-chain layouts whose "next" fields
+  are stride-predictable when allocation is sequential and unpredictable
+  when fragmented, mimicking heap behaviour of pointer codes like li.
+
+All generators take an explicit :class:`random.Random` so benchmarks are
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def strided(n: int, start: Number = 0, stride: Number = 1) -> List[Number]:
+    """A perfect arithmetic sequence: prediction rate ~1 under stride."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [start + i * stride for i in range(n)]
+
+
+def noisy_strided(
+    n: int,
+    rng: random.Random,
+    start: int = 0,
+    stride: int = 1,
+    break_rate: float = 0.2,
+    jump: int = 1000,
+) -> List[int]:
+    """A stride sequence that re-bases with probability ``break_rate``.
+
+    Each break costs the two-delta stride predictor roughly one miss, so
+    the observed prediction rate is about ``1 - break_rate``.
+    """
+    if not (0.0 <= break_rate <= 1.0):
+        raise ValueError("break_rate must be in [0, 1]")
+    out: List[int] = []
+    value = start
+    for _ in range(n):
+        out.append(value)
+        if rng.random() < break_rate:
+            value += rng.randrange(1, jump) * stride + rng.randrange(1, jump)
+        else:
+            value += stride
+    return out
+
+
+def repeating(n: int, pattern: Sequence[Number]) -> List[Number]:
+    """Cycle a short pattern: FCM-predictable, stride-hostile."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    return [pattern[i % len(pattern)] for i in range(n)]
+
+
+def random_values(n: int, rng: random.Random, lo: int = 0, hi: int = 1 << 16) -> List[int]:
+    """Uniform random integers: neither predictor does well."""
+    return [rng.randrange(lo, hi) for _ in range(n)]
+
+
+def mostly_constant(
+    n: int, rng: random.Random, value: Number = 1, flip_rate: float = 0.05, other: Number = 0
+) -> List[Number]:
+    """A constant stream with rare flips (flags, status words)."""
+    return [other if rng.random() < flip_rate else value for _ in range(n)]
+
+
+def random_floats(n: int, rng: random.Random, lo: float = 0.0, hi: float = 1.0) -> List[float]:
+    """Uniform random floats (FP array initial conditions)."""
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+def smooth_field(n: int, rng: random.Random, scale: float = 100.0) -> List[float]:
+    """A smooth 1-D field (slowly varying physical quantity).
+
+    Neighbouring values differ by small random steps: not exactly
+    predictable bit-for-bit, so FP loads over such fields show the *low*
+    value-prediction rates real FP data exhibits.
+    """
+    out: List[float] = []
+    value = rng.uniform(0.0, scale)
+    for _ in range(n):
+        out.append(value)
+        value += rng.uniform(-1.0, 1.0)
+    return out
+
+
+def linked_list_nodes(
+    count: int,
+    base: int,
+    node_size: int,
+    rng: random.Random,
+    fragmentation: float = 0.0,
+    payload_pattern: Sequence[int] = (1, 2, 3, 4),
+    payload_values: Sequence[int] | None = None,
+) -> dict[int, int]:
+    """Memory image of a singly linked list.
+
+    Each node occupies ``node_size`` words: word 0 is the ``next``
+    pointer, word 1 the payload.  With ``fragmentation=0`` the nodes are
+    laid out sequentially (next-pointer loads are stride-predictable,
+    like a freshly built list); higher fragmentation shuffles a growing
+    share of the links.
+
+    Payloads are assigned in *walk order*: ``payload_values`` (one per
+    node) wins over the cyclic ``payload_pattern``.
+    """
+    if payload_values is not None and len(payload_values) < count:
+        raise ValueError("payload_values must cover every node")
+    if count < 1:
+        raise ValueError("need at least one node")
+    if not (0.0 <= fragmentation <= 1.0):
+        raise ValueError("fragmentation must be in [0, 1]")
+    order = list(range(count))
+    shuffle_count = int(count * fragmentation)
+    if shuffle_count > 1:
+        tail = order[count - shuffle_count:]
+        rng.shuffle(tail)
+        order[count - shuffle_count:] = tail
+    addresses = [base + slot * node_size for slot in order]
+    image: dict[int, int] = {}
+    for i, addr in enumerate(addresses):
+        next_addr = addresses[(i + 1) % count]
+        image[addr] = next_addr
+        if payload_values is not None:
+            image[addr + 1] = payload_values[i]
+        else:
+            image[addr + 1] = payload_pattern[i % len(payload_pattern)]
+    return image

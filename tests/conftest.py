@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W, UNLIMITED
+
+
+@pytest.fixture
+def m4():
+    """The paper's primary 4-wide machine."""
+    return PLAYDOH_4W
+
+
+@pytest.fixture
+def m8():
+    """The 8-wide machine of the Table 4 scaling study."""
+    return PLAYDOH_8W
+
+
+@pytest.fixture
+def unlimited():
+    """A machine that never binds on resources."""
+    return UNLIMITED
+
+
+@pytest.fixture
+def straight_block():
+    """A simple straight-line block: load feeding an arithmetic chain."""
+    fb = FunctionBuilder("straight")
+    fb.block("entry")
+    fb.mov("r1", 100)
+    fb.load("r2", "r1")
+    fb.add("r3", "r2", 1)
+    fb.mul("r4", "r3", "r3")
+    fb.store("r4", "r1", offset=10)
+    fb.halt()
+    function = fb.build()
+    return function.block("entry")
+
+
+@pytest.fixture
+def loop_program():
+    """A small program with a counted loop over a strided array."""
+    pb = ProgramBuilder("loop_program")
+    fb = pb.function()
+    fb.block("entry")
+    fb.mov("r_i", 0)
+    fb.mov("r_acc", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.add("r_addr", "r_i", 1000)
+    fb.load("r_v", "r_addr")
+    fb.add("r_acc", "r_acc", "r_v")
+    fb.add("r_i", "r_i", 1)
+    fb.cmplt("r_c", "r_i", 50)
+    fb.brcond("r_c", "loop", "exit")
+    fb.block("exit")
+    fb.store("r_acc", "r_i", offset=2000)
+    fb.halt()
+    pb.add(fb.build())
+    pb.memory(1000, [3 * k for k in range(50)])
+    return pb.build()
+
+
+@pytest.fixture
+def paper_example():
+    """The paper's Figure 2/3 worked example, fully simulated."""
+    from repro.evaluation.paper_example import run_example
+
+    return run_example()

@@ -1,0 +1,73 @@
+"""Unit tests for the ISA-extension data structures."""
+
+import pytest
+
+from repro.core.isa_ext import OpForm, SpecOpInfo
+from repro.core.speculation import transform_block
+from repro.ir.builder import FunctionBuilder
+
+
+@pytest.fixture
+def spec(m4):
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.mov("p", 100)
+    load = fb.load("a", "p")
+    fb.add("b", "a", 1)
+    fb.mul("c", "b", 2)
+    fb.store("c", "p", offset=4)
+    fb.halt()
+    block = fb.build().block("entry")
+    return transform_block(block, m4, [load])
+
+
+class TestSpecOpInfo:
+    def test_defaults(self):
+        info = SpecOpInfo(form=OpForm.PLAIN)
+        assert info.origins == frozenset()
+        assert info.sync_bit is None
+        assert info.wait_bits == frozenset()
+        assert info.verifies is None
+
+    def test_frozen(self):
+        info = SpecOpInfo(form=OpForm.PLAIN)
+        with pytest.raises(AttributeError):
+            info.form = OpForm.CHECK
+
+
+class TestSpeculativeBlock:
+    def test_num_predictions(self, spec):
+        assert spec.num_predictions == 1
+
+    def test_speculated_ops_in_program_order(self, spec):
+        names = [op.dest.name for op in spec.speculated_ops]
+        assert names == ["b", "c"]
+
+    def test_sync_bits_used_counts_ldpred_and_spec(self, spec):
+        # 1 LdPred bit + 2 speculated-op bits
+        assert spec.sync_bits_used == 3
+
+    def test_form_and_origins_accessors(self, spec):
+        ldpred_id = spec.ldpred_ids[0]
+        assert spec.form(ldpred_id) is OpForm.LDPRED
+        assert spec.origins(ldpred_id) == frozenset({ldpred_id})
+        check_id = spec.check_of[ldpred_id]
+        assert spec.form(check_id) is OpForm.CHECK
+
+    def test_mappings_consistent(self, spec):
+        for ldpred_id in spec.ldpred_ids:
+            assert ldpred_id in spec.check_of
+            assert ldpred_id in spec.predicted_load_of
+            # the original load id belongs to the original block
+            load_id = spec.predicted_load_of[ldpred_id]
+            assert any(op.op_id == load_id for op in spec.original.operations)
+
+    def test_ldpred_immediately_precedes_check(self, spec):
+        position = {op.op_id: i for i, op in enumerate(spec.operations)}
+        for ldpred_id, check_id in spec.check_of.items():
+            assert position[check_id] == position[ldpred_id] + 1
+
+    def test_repr(self, spec):
+        text = repr(spec)
+        assert "1 predictions" in text
+        assert "2 speculated" in text

@@ -1,0 +1,301 @@
+"""Unit tests for the value-speculation compiler pass."""
+
+import pytest
+
+from repro.core.isa_ext import OpForm
+from repro.core.speculation import (
+    SpeculationConfig,
+    candidate_loads,
+    speculate_block,
+    transform_block,
+)
+from repro.ddg.graph import DepKind
+from repro.ir.builder import FunctionBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Reg
+from repro.profiling.value_profile import LoadValueStats, ValueProfile
+
+
+def chain_block():
+    """load -> add -> mul -> store, plus an independent mov."""
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.mov("p", 100)
+    load = fb.load("a", "p")
+    fb.add("b", "a", 1)
+    fb.mul("c", "b", "b")
+    fb.store("c", "p", offset=10)
+    fb.mov("z", 5)
+    fb.halt()
+    return fb.build().block("entry"), load
+
+
+def profile_for(rates: dict[int, float], executions: int = 100) -> ValueProfile:
+    """Fabricate a profile with given best rates."""
+    loads = {}
+    for op_id, rate in rates.items():
+        loads[op_id] = LoadValueStats(
+            executions=executions,
+            stride_correct=int(rate * executions),
+            fcm_correct=0,
+        )
+    return ValueProfile(loads)
+
+
+class TestClassification:
+    def test_forms(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        forms = {str(op).split()[1].rstrip(":"): None for op in spec.operations}
+        by_form = {}
+        for op in spec.operations:
+            by_form.setdefault(spec.info[op.op_id].form, []).append(op)
+        assert len(by_form[OpForm.LDPRED]) == 1
+        assert len(by_form[OpForm.CHECK]) == 1
+        # add and mul consume the predicted value -> speculative
+        assert {op.opcode for op in by_form[OpForm.SPECULATIVE]} == {
+            Opcode.ADD,
+            Opcode.MUL,
+        }
+        # the store is tainted but has a side effect -> non-speculative
+        assert any(op.is_store for op in by_form[OpForm.NONSPEC])
+        # untouched ops stay plain (movs, halt)
+        assert len(by_form[OpForm.PLAIN]) == 3
+
+    def test_origins_propagate_transitively(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        ldpred = spec.ldpred_ids[0]
+        for op in spec.operations:
+            info = spec.info[op.op_id]
+            if info.form is OpForm.SPECULATIVE:
+                assert info.origins == frozenset({ldpred})
+
+    def test_sync_bits_unique(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        bits = [i.sync_bit for i in spec.info.values() if i.sync_bit is not None]
+        assert len(bits) == len(set(bits))
+        assert spec.sync_bits_used == len(bits)
+
+    def test_nonspec_wait_bits_reference_immediate_producers(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        store = next(op for op in spec.operations if op.is_store)
+        mul = next(op for op in spec.operations if op.opcode is Opcode.MUL)
+        assert spec.info[store.op_id].wait_bits == frozenset(
+            {spec.info[mul.op_id].sync_bit}
+        )
+
+    def test_liveout_values_stay_nonspec(self, m4):
+        block, load = chain_block()
+        spec = transform_block(
+            block, m4, [load], live_out=frozenset({Reg("b")})
+        )
+        add = next(op for op in spec.operations if op.opcode is Opcode.ADD)
+        assert spec.info[add.op_id].form is OpForm.NONSPEC
+
+    def test_speculate_liveout_option(self, m4):
+        block, load = chain_block()
+        config = SpeculationConfig(speculate_liveout=True)
+        spec = transform_block(
+            block, m4, [load], live_out=frozenset({Reg("b")}), config=config
+        )
+        add = next(op for op in spec.operations if op.opcode is Opcode.ADD)
+        assert spec.info[add.op_id].form is OpForm.SPECULATIVE
+
+    def test_tainted_load_is_nonspec(self, m4):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        first = fb.load("a", "p")
+        fb.add("q", "a", 4)
+        second = fb.load("b", "q")  # address derives from predicted value
+        fb.halt()
+        block = fb.build().block("entry")
+        spec = transform_block(block, m4, [first])
+        assert spec.info[second.op_id].form is OpForm.NONSPEC
+
+    def test_branch_on_tainted_condition_is_nonspec(self, m4):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        load = fb.load("a", "p")
+        fb.cmplt("c", "a", 5)
+        fb.brcond("c", "entry", "out")
+        fb.block("out")
+        fb.halt()
+        block = fb.build().block("entry")
+        spec = transform_block(block, m4, [load])
+        term = next(op for op in spec.operations if op.opcode is Opcode.BRCOND)
+        assert spec.info[term.op_id].form is OpForm.NONSPEC
+        assert spec.info[term.op_id].wait_bits
+
+    def test_sync_width_overflow_demotes(self, m4):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        load = fb.load("a", "p")
+        for i in range(6):
+            fb.add(f"v{i}", "a", i)
+        fb.halt()
+        block = fb.build().block("entry")
+        # width 3: 1 bit for LdPred + 2 speculated; remaining consumers
+        # demote to non-speculative instead of failing.
+        config = SpeculationConfig(sync_width=3)
+        spec = transform_block(block, m4, [load], config=config)
+        spec_count = sum(
+            1 for i in spec.info.values() if i.form is OpForm.SPECULATIVE
+        )
+        nonspec_count = sum(
+            1 for i in spec.info.values() if i.form is OpForm.NONSPEC
+        )
+        assert spec_count == 2
+        assert nonspec_count == 4
+
+    def test_non_member_load_rejected(self, m4):
+        block, _ = chain_block()
+        other_block, other_load = chain_block()
+        with pytest.raises(ValueError, match="not an operation"):
+            transform_block(block, m4, [other_load])
+
+    def test_store_rejected_as_prediction_target(self, m4):
+        block, _ = chain_block()
+        store = next(op for op in block.operations if op.is_store)
+        with pytest.raises(ValueError, match="can be predicted"):
+            transform_block(block, m4, [store])
+
+    def test_alu_ops_are_predictable(self, m4):
+        """The paper's general formulation: any value-producing op may
+        have its destination predicted (see also test_alu_prediction)."""
+        block, _ = chain_block()
+        mul = next(op for op in block.operations if op.opcode is Opcode.MUL)
+        spec = transform_block(block, m4, [mul])
+        check_id = spec.check_of[spec.ldpred_ids[0]]
+        check = next(op for op in spec.operations if op.op_id == check_id)
+        # the ALU check re-executes the op itself with compare semantics
+        assert check.opcode is Opcode.MUL
+        assert spec.info[check_id].form is OpForm.CHECK
+
+
+class TestTransformedGraph:
+    def test_spec_consumer_reads_from_ldpred(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        add = next(op for op in spec.operations if op.opcode is Opcode.ADD)
+        ldpred_id = spec.ldpred_ids[0]
+        flow_srcs = [
+            e.src for e in spec.graph.predecessors(add.op_id) if e.kind is DepKind.FLOW
+        ]
+        assert ldpred_id in flow_srcs
+        assert spec.check_of[ldpred_id] not in flow_srcs
+
+    def test_ldpred_precedes_check_by_output_edge(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        ldpred_id = spec.ldpred_ids[0]
+        check_id = spec.check_of[ldpred_id]
+        kinds = {
+            e.kind for e in spec.graph.successors(ldpred_id) if e.dst == check_id
+        }
+        assert DepKind.OUTPUT in kinds
+
+    def test_check_inherits_memory_ordering(self, m4):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        fb.store(1, "p", offset=50)
+        load = fb.load("a", "p")
+        fb.add("b", "a", 1)
+        fb.halt()
+        block = fb.build().block("entry")
+        spec = transform_block(block, m4, [load])
+        check_id = spec.check_of[spec.ldpred_ids[0]]
+        store = next(op for op in spec.operations if op.is_store)
+        mem_edges = [
+            e for e in spec.graph.successors(store.op_id)
+            if e.dst == check_id and e.kind is DepKind.MEM
+        ]
+        assert mem_edges
+
+    def test_nonspec_waits_for_check_via_sync_edge(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        store = next(op for op in spec.operations if op.is_store)
+        check_id = spec.check_of[spec.ldpred_ids[0]]
+        sync_srcs = [
+            e.src
+            for e in spec.graph.predecessors(store.op_id)
+            if e.kind is DepKind.SYNC
+        ]
+        assert check_id in sync_srcs
+
+    def test_graph_program_order_is_topological(self, m4):
+        block, load = chain_block()
+        spec = transform_block(block, m4, [load])
+        position = {op.op_id: i for i, op in enumerate(spec.operations)}
+        for edge in spec.graph.edges():
+            assert position[edge.src] < position[edge.dst]
+
+
+class TestSelection:
+    def test_candidates_respect_threshold(self, m4):
+        block, load = chain_block()
+        good = profile_for({load.op_id: 0.9})
+        bad = profile_for({load.op_id: 0.4})
+        config = SpeculationConfig()
+        assert [c.op_id for c in candidate_loads(block, m4, good, config)] == [load.op_id]
+        assert candidate_loads(block, m4, bad, config) == []
+
+    def test_candidates_respect_min_executions(self, m4):
+        block, load = chain_block()
+        profile = profile_for({load.op_id: 0.9}, executions=1)
+        config = SpeculationConfig(min_profile_executions=10)
+        assert candidate_loads(block, m4, profile, config) == []
+
+    def test_speculate_block_improves_schedule(self, m4):
+        from repro.sched.list_scheduler import schedule_block
+        from repro.core.specsched import schedule_speculative
+
+        block, load = chain_block()
+        profile = profile_for({load.op_id: 0.9})
+        spec = speculate_block(block, m4, profile)
+        assert spec is not None
+        original = schedule_block(block, m4).length
+        speculative = schedule_speculative(spec, m4).length
+        assert speculative < original
+
+    def test_speculate_block_returns_none_without_candidates(self, m4):
+        block, load = chain_block()
+        profile = profile_for({load.op_id: 0.1})
+        assert speculate_block(block, m4, profile) is None
+
+    def test_speculate_block_returns_none_when_unprofitable(self, m4):
+        # A load whose value nothing consumes: prediction cannot shorten
+        # the schedule.
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        load = fb.load("a", "p")
+        fb.mov("z", 1)
+        fb.halt()
+        block = fb.build().block("entry")
+        profile = profile_for({load.op_id: 0.99})
+        assert speculate_block(block, m4, profile) is None
+
+    def test_max_predictions_cap(self, m4):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("p", 100)
+        loads = []
+        for i in range(3):
+            loads.append(fb.load(f"a{i}", "p", offset=i))
+            fb.add(f"b{i}", f"a{i}", 1)
+            fb.mul(f"c{i}", f"b{i}", 3)
+        fb.halt()
+        block = fb.build().block("entry")
+        profile = profile_for({l.op_id: 0.95 for l in loads})
+        config = SpeculationConfig(max_predictions=1)
+        spec = speculate_block(block, m4, profile, config=config)
+        assert spec is not None
+        assert spec.num_predictions == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the Synchronization register and bit allocation."""
+
+import pytest
+
+from repro.core.sync_register import (
+    SyncBitAllocator,
+    SyncRegisterOverflow,
+    SyncRegisterState,
+)
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        alloc = SyncBitAllocator(width=8)
+        assert alloc.allocate(101) == 0
+        assert alloc.allocate(102) == 1
+        assert alloc.allocated == 2
+
+    def test_idempotent_per_producer(self):
+        alloc = SyncBitAllocator(width=8)
+        bit = alloc.allocate(101)
+        assert alloc.allocate(101) == bit
+        assert alloc.allocated == 1
+
+    def test_overflow(self):
+        alloc = SyncBitAllocator(width=2)
+        alloc.allocate(1)
+        alloc.allocate(2)
+        with pytest.raises(SyncRegisterOverflow):
+            alloc.allocate(3)
+
+    def test_bit_of(self):
+        alloc = SyncBitAllocator()
+        alloc.allocate(5)
+        assert alloc.bit_of(5) == 0
+        assert alloc.bit_of(6) is None
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            SyncBitAllocator(width=0)
+
+
+class TestRegisterState:
+    def test_set_then_clear(self):
+        state = SyncRegisterState(width=8)
+        state.set_bit(3, 10)
+        assert state.clear_time(3) is None
+        state.clear_bit(3, 15)
+        assert state.clear_time(3) == 15
+
+    def test_unset_bit_trivially_clear(self):
+        state = SyncRegisterState(width=8)
+        assert state.clear_time(5) == 0
+
+    def test_clear_before_set_rejected(self):
+        state = SyncRegisterState(width=8)
+        with pytest.raises(RuntimeError, match="never set"):
+            state.clear_bit(0, 5)
+
+    def test_double_clear_keeps_earliest(self):
+        state = SyncRegisterState(width=8)
+        state.set_bit(0, 1)
+        state.clear_bit(0, 9)
+        state.clear_bit(0, 5)
+        assert state.clear_time(0) == 5
+        state.clear_bit(0, 7)  # later: ignored
+        assert state.clear_time(0) == 5
+
+    def test_clear_clamped_to_set_time(self):
+        # A check can complete before a slow-to-issue speculated op even
+        # sets its bit; the observable clear time is the set time.
+        state = SyncRegisterState(width=8)
+        state.set_bit(2, 10)
+        state.clear_bit(2, 4)
+        assert state.clear_time(2) == 10
+
+    def test_reset_on_reset_bit(self):
+        state = SyncRegisterState(width=8)
+        state.set_bit(1, 0)
+        state.clear_bit(1, 2)
+        state.set_bit(1, 5)  # reused for a new prediction
+        assert state.clear_time(1) is None
+
+    def test_wait_until_clear(self):
+        state = SyncRegisterState(width=8)
+        state.set_bit(0, 0)
+        state.set_bit(1, 0)
+        state.clear_bit(0, 4)
+        assert state.wait_until_clear({0, 1}) is None
+        state.clear_bit(1, 9)
+        assert state.wait_until_clear({0, 1}) == 9
+        assert state.wait_until_clear(set()) == 0
+        assert state.wait_until_clear({7}) == 0  # never predicted
+
+    def test_bounds_checked(self):
+        state = SyncRegisterState(width=4)
+        with pytest.raises(IndexError):
+            state.set_bit(4, 0)
+        with pytest.raises(IndexError):
+            state.clear_time(-1)

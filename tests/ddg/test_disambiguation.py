@@ -1,0 +1,99 @@
+"""Tests for optional static memory disambiguation in the DDG builder."""
+
+import pytest
+
+from repro.ddg.builder import build_ddg
+from repro.ddg.graph import DepKind
+from repro.ir.builder import FunctionBuilder
+from repro.sched.list_scheduler import ListScheduler
+
+
+def block_of(emit):
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    emit(fb)
+    fb.halt()
+    return fb.build().block("entry")
+
+
+def mem_edge(graph, src, dst):
+    return [
+        e for e in graph.successors(src.op_id)
+        if e.dst == dst.op_id and e.kind is DepKind.MEM
+    ]
+
+
+class TestDisambiguation:
+    def test_same_base_different_offsets_independent(self, m4):
+        blk = block_of(
+            lambda fb: (fb.store(1, "p", offset=0), fb.load("a", "p", offset=4))
+        )
+        store, load = blk.operations[0], blk.operations[1]
+        conservative = build_ddg(blk, m4)
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert mem_edge(conservative, store, load)
+        assert not mem_edge(precise, store, load)
+
+    def test_same_base_same_offset_still_ordered(self, m4):
+        blk = block_of(lambda fb: (fb.store(1, "p", offset=4), fb.load("a", "p", offset=4)))
+        store, load = blk.operations[0], blk.operations[1]
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert mem_edge(precise, store, load)
+
+    def test_different_bases_assumed_aliasing(self, m4):
+        blk = block_of(lambda fb: (fb.store(1, "p", offset=0), fb.load("a", "q", offset=4)))
+        store, load = blk.operations[0], blk.operations[1]
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert mem_edge(precise, store, load)
+
+    def test_redefined_base_breaks_the_proof(self, m4):
+        def emit(fb):
+            fb.store(1, "p", offset=0)
+            fb.add("p", "p", 4)        # p changes: offsets no longer comparable
+            fb.load("a", "p", offset=0)
+
+        blk = block_of(emit)
+        store, load = blk.operations[0], blk.operations[2]
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert mem_edge(precise, store, load)
+
+    def test_loads_never_order_even_when_aliasing(self, m4):
+        blk = block_of(lambda fb: (fb.load("a", "p"), fb.load("b", "p")))
+        l1, l2 = blk.operations[0], blk.operations[1]
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert not mem_edge(precise, l1, l2)
+
+    def test_store_store_same_slot_ordered(self, m4):
+        blk = block_of(lambda fb: (fb.store(1, "p", offset=2), fb.store(2, "p", offset=2)))
+        s1, s2 = blk.operations[0], blk.operations[1]
+        precise = build_ddg(blk, m4, disambiguate=True)
+        assert mem_edge(precise, s1, s2)
+
+    def test_disambiguation_never_adds_edges(self, m4, straight_block):
+        conservative = set(
+            (e.src, e.dst) for e in build_ddg(straight_block, m4).edges()
+            if e.kind is DepKind.MEM
+        )
+        precise = set(
+            (e.src, e.dst)
+            for e in build_ddg(straight_block, m4, disambiguate=True).edges()
+            if e.kind is DepKind.MEM
+        )
+        assert precise <= conservative
+
+    def test_disambiguation_shortens_schedules(self, m4):
+        def emit(fb):
+            # a store that conservatively blocks the next load chain
+            fb.store(1, "p", offset=100)
+            fb.load("a", "p", offset=0)
+            fb.add("b", "a", 1)
+            fb.mul("c", "b", "b")
+            fb.store("c", "p", offset=50)
+
+        blk = block_of(emit)
+        scheduler = ListScheduler(m4)
+        conservative = scheduler.schedule_graph("c", build_ddg(blk, m4)).length
+        precise = scheduler.schedule_graph(
+            "p", build_ddg(blk, m4, disambiguate=True)
+        ).length
+        assert precise < conservative

@@ -1,0 +1,35 @@
+"""Tests for the evaluation CLI's JSON output mode."""
+
+import json
+
+import pytest
+
+from repro.evaluation.__main__ import main
+
+
+class TestJsonOutput:
+    def test_single_experiment_json(self, capsys):
+        assert main(["table3", "--scale", "0.2", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list)
+        assert len(rows) == 8
+        assert {"benchmark", "best_case_fraction", "worst_case_fraction"} <= set(
+            rows[0]
+        )
+
+    def test_table2_json_fields(self, capsys):
+        assert main(["table2", "--scale", "0.2", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        for row in rows:
+            assert 0.0 <= row["best_case_fraction"] <= 1.0
+            assert 0.0 <= row["worst_case_fraction"] <= 1.0
+
+    def test_example_has_no_json_form(self, capsys):
+        assert main(["example", "--json"]) == 2
+
+    def test_text_mode_unchanged(self, capsys):
+        assert main(["table3", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+        assert "Table 3" in out

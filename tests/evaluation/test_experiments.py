@@ -1,0 +1,200 @@
+"""Integration tests for the evaluation experiments.
+
+A session-scoped, scaled-down :class:`Evaluation` keeps these fast while
+still running the full pipeline (profile -> compile -> simulate) for
+every benchmark at both machine widths.
+"""
+
+import pytest
+
+from repro.evaluation import baseline_cmp, figure8, table2, table3, table4
+from repro.evaluation.experiment import (
+    Evaluation,
+    EvaluationSettings,
+    arithmetic_mean,
+    geometric_mean,
+)
+from repro.evaluation.report import experiment_names, full_report, run_experiment
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    # 0.4 is the smallest scale at which every benchmark's value profile
+    # has warmed up enough for the paper's 0.65 threshold to select loads
+    # in all eight programs.
+    return Evaluation(EvaluationSettings(scale=0.4))
+
+
+class TestEvaluationCache:
+    def test_profiles_cached(self, evaluation):
+        a = evaluation.profile("compress")
+        b = evaluation.profile("compress")
+        assert a is b
+
+    def test_compilations_cached_per_machine(self, evaluation):
+        a = evaluation.compilation("compress", evaluation.machine_4w)
+        b = evaluation.compilation("compress", evaluation.machine_4w)
+        c = evaluation.compilation("compress", evaluation.machine_8w)
+        assert a is b
+        assert a is not c
+
+    def test_threshold_setting(self):
+        settings = EvaluationSettings().with_threshold(0.8)
+        assert settings.spec_config.threshold == 0.8
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+
+
+class TestTable2(object):
+    def test_rows_cover_suite(self, evaluation):
+        rows = table2.compute(evaluation)
+        assert [r.benchmark for r in rows] == evaluation.benchmarks
+
+    def test_fractions_are_fractions(self, evaluation):
+        for row in table2.compute(evaluation):
+            assert 0.0 <= row.best_case_fraction <= 1.0
+            assert 0.0 <= row.worst_case_fraction <= 1.0
+
+    def test_paper_shape_best_dominates_worst(self, evaluation):
+        """All-correct time dwarfs all-incorrect time (paper's Table 2)."""
+        rows = table2.compute(evaluation)
+        best = arithmetic_mean([r.best_case_fraction for r in rows])
+        worst = arithmetic_mean([r.worst_case_fraction for r in rows])
+        assert best > 0.3
+        assert worst < 0.25
+        assert best > 2 * worst
+
+    def test_render(self, evaluation):
+        text = table2.render(table2.compute(evaluation))
+        assert "Table 2" in text and "compress" in text and "average" in text
+
+
+class TestTable3:
+    def test_paper_shape_best_case_improves(self, evaluation):
+        """Roughly 20% average best-case reduction (paper's headline)."""
+        rows = table3.compute(evaluation)
+        mean_best = arithmetic_mean([r.best_case_fraction for r in rows])
+        assert 0.6 < mean_best < 0.95
+        for row in rows:
+            assert row.best_case_fraction < 1.0
+
+    def test_worst_case_bounded(self, evaluation):
+        """Parallel compensation keeps even all-wrong blocks near the
+        original length (far from the serial-recovery blowup)."""
+        for row in table3.compute(evaluation):
+            assert row.worst_case_fraction <= 1.5
+            assert row.best_case_fraction <= row.worst_case_fraction
+
+    def test_render(self, evaluation):
+        text = table3.render(table3.compute(evaluation))
+        assert "Table 3" in text and "tomcatv" in text
+
+
+class TestTable4:
+    def test_wider_machine_speculates_no_less(self, evaluation):
+        rows = table4.compute(evaluation)
+        total_4w = sum(r.predictions_4w for r in rows)
+        total_8w = sum(r.predictions_8w for r in rows)
+        assert total_8w >= total_4w
+
+    def test_wider_machine_improves_no_less_on_average(self, evaluation):
+        rows = table4.compute(evaluation)
+        mean_4w = arithmetic_mean([r.length_fraction_4w for r in rows])
+        mean_8w = arithmetic_mean([r.length_fraction_8w for r in rows])
+        assert mean_8w <= mean_4w + 0.02
+
+    def test_render(self, evaluation):
+        text = table4.render(table4.compute(evaluation))
+        assert "Table 4" in text and "8w" in text
+
+
+class TestFigure8:
+    def test_percentages_sum_to_100(self, evaluation):
+        for row in figure8.compute(evaluation):
+            assert sum(row.percentages.values()) == pytest.approx(100.0)
+
+    def test_most_blocks_improve_by_small_amounts(self, evaluation):
+        """Paper: 'a large percentage of the blocks improve the schedule
+        length by 1-4 cycles'."""
+        rows = figure8.compute(evaluation)
+        improved_small = arithmetic_mean(
+            [r.percentages["improved 1-4"] + r.percentages["improved 5-8"] for r in rows]
+        )
+        assert improved_small > 30.0
+
+    def test_no_degradation_in_all_correct_case(self, evaluation):
+        for row in figure8.compute(evaluation):
+            assert row.percentages["degraded"] == 0.0
+
+    def test_bucket_of(self):
+        assert figure8.bucket_of(-3) == "degraded"
+        assert figure8.bucket_of(0) == "unchanged"
+        assert figure8.bucket_of(2) == "improved 1-4"
+        assert figure8.bucket_of(7) == "improved 5-8"
+        assert figure8.bucket_of(40) == "improved >8"
+
+    def test_render(self, evaluation):
+        text = figure8.render(figure8.compute(evaluation))
+        assert "Figure 8" in text and "suite" in text
+
+
+class TestBaselineComparison:
+    def test_proposed_beats_baseline_everywhere(self, evaluation):
+        for row in baseline_cmp.compute(evaluation):
+            assert row.cycles_proposed <= row.cycles_baseline
+
+    def test_baseline_overhead_exceeds_proposed(self, evaluation):
+        """The paper's claim: recovery overhead is significant for the
+        static scheme, negligible for the proposed architecture."""
+        rows = baseline_cmp.compute(evaluation)
+        mean_baseline = arithmetic_mean([r.baseline_overhead_fraction for r in rows])
+        mean_proposed = arithmetic_mean([r.proposed_overhead_fraction for r in rows])
+        assert mean_baseline > mean_proposed
+
+    def test_speedups_positive(self, evaluation):
+        for row in baseline_cmp.compute(evaluation):
+            assert row.proposed_speedup >= 1.0
+
+    def test_render(self, evaluation):
+        text = baseline_cmp.render(baseline_cmp.compute(evaluation))
+        assert "Recovery comparison" in text
+
+
+class TestReport:
+    def test_experiment_registry(self):
+        assert set(experiment_names()) == {
+            "table2", "table3", "table4", "figure8", "baseline", "example",
+            "regions",
+        }
+
+    def test_unknown_experiment(self, evaluation):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table9", evaluation)
+
+    def test_run_single(self, evaluation):
+        assert "Table 2" in run_experiment("table2", evaluation)
+
+    def test_full_report_contains_everything(self, evaluation):
+        text = full_report(evaluation)
+        for marker in ("Table 2", "Table 3", "Table 4", "Figure 8", "worked example"):
+            assert marker in text
+
+
+class TestCLI:
+    def test_main_single_experiment(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        code = main(["table3", "--scale", "0.15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        assert main(["tableX", "--scale", "0.15"]) == 2

@@ -1,0 +1,54 @@
+"""Tests for the region-size experiment module."""
+
+import pytest
+
+from repro.evaluation.experiment import Evaluation, EvaluationSettings
+from repro.evaluation.regions_exp import RegionRow, compute, render
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # Restrict to two benchmarks (one serial-chain, one parallel) so the
+    # test stays fast; full scale so trip counts divide the factors.
+    settings = EvaluationSettings(scale=1.0, benchmarks=("li", "swim"))
+    return compute(Evaluation(settings))
+
+
+class TestRegionsExperiment:
+    def test_rows_cover_requested_benchmarks(self, rows):
+        assert [r.benchmark for r in rows] == ["li", "swim"]
+
+    def test_baseline_fraction_is_1x(self, rows):
+        for row in rows:
+            assert row.baseline_fraction == row.fractions[1]
+            assert 0 < row.baseline_fraction < 1
+
+    def test_serial_chain_flagged(self, rows):
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["li"].serial_chain
+        assert not by_name["swim"].serial_chain
+
+    def test_unrolled_variants_validated(self, rows):
+        # At scale 1.0 both benchmarks' hottest loops divide by 2.
+        for row in rows:
+            assert row.fractions.get(2) is not None
+
+    def test_serial_chain_improves_with_region_size(self, rows):
+        li = next(r for r in rows if r.benchmark == "li")
+        assert li.fractions[2] < li.fractions[1]
+
+    def test_render(self, rows):
+        text = render(rows)
+        assert "Region-size study" in text
+        assert "serial" in text and "parallel" in text
+        assert "li" in text
+
+    def test_render_handles_missing_factors(self):
+        row = RegionRow(
+            benchmark="x",
+            loop_label="l",
+            serial_chain=False,
+            fractions={1: 0.8, 2: None, 4: None},
+        )
+        text = render([row])
+        assert "-" in text

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the quickstart surface of the library; they must never rot.
+Each runs in a subprocess exactly as a user would invoke it (small
+scales where the script accepts one, to keep the suite fast).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["li"]),
+    ("paper_figure3.py", []),
+    ("custom_workload.py", []),
+    ("predictor_playground.py", []),
+    ("asm_pipeline.py", []),
+    ("sweep_issue_width.py", ["0.15"]),
+    ("regions_study.py", ["0.5"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_file_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"

@@ -1,0 +1,265 @@
+"""Tests for the assembly writer/parser (including round-trip properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.asm import (
+    AsmSyntaxError,
+    format_function_asm,
+    format_operation_asm,
+    format_program_asm,
+    parse_function,
+    parse_operation,
+    parse_program,
+)
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Imm, Reg
+from repro.profiling.interpreter import run_program
+
+
+class TestParseOperation:
+    def test_alu(self):
+        op = parse_operation("add r1, r2, #5")
+        assert op.opcode is Opcode.ADD
+        assert op.dest == Reg("r1")
+        assert op.srcs == (Reg("r2"), Imm(5))
+
+    def test_unary(self):
+        op = parse_operation("mov r1, r2")
+        assert op.opcode is Opcode.MOV
+        assert op.srcs == (Reg("r2"),)
+
+    def test_float_immediate(self):
+        op = parse_operation("fmul f1, f2, #0.5")
+        assert op.srcs[1] == Imm(0.5)
+
+    def test_negative_immediate(self):
+        op = parse_operation("add r1, r1, #-3")
+        assert op.srcs[1] == Imm(-3)
+
+    def test_load_with_offset(self):
+        op = parse_operation("load r1, [r2+8]")
+        assert op.opcode is Opcode.LOAD
+        assert op.srcs == (Reg("r2"),)
+        assert op.offset == 8
+
+    def test_load_negative_offset(self):
+        assert parse_operation("load r1, [r2-4]").offset == -4
+
+    def test_load_no_offset(self):
+        assert parse_operation("load r1, [r2]").offset == 0
+
+    def test_store(self):
+        op = parse_operation("store r3, [r2+1]")
+        assert op.opcode is Opcode.STORE
+        assert op.srcs == (Reg("r3"), Reg("r2"))
+
+    def test_store_immediate_value(self):
+        op = parse_operation("store #42, [r2]")
+        assert op.srcs[0] == Imm(42)
+
+    def test_branches(self):
+        br = parse_operation("br out")
+        assert br.targets == ("out",)
+        brc = parse_operation("brcond r1, a, b")
+        assert brc.targets == ("a", "b")
+        assert parse_operation("halt").opcode is Opcode.HALT
+
+    def test_comment_stripped(self):
+        op = parse_operation("add r1, r2, r3 ; hello")
+        assert op.opcode is Opcode.ADD
+
+    def test_case_insensitive_mnemonic(self):
+        assert parse_operation("ADD r1, r2, r3").opcode is Opcode.ADD
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1, r2",
+            "add r1, r2",              # missing operand
+            "add r1, r2, r3, r4",      # extra operand
+            "load r1, r2",             # not a memory operand
+            "store r1, r2",
+            "br a, b",
+            "brcond r1, a",
+            "halt r1",
+            "add r1, [r2]",            # memory operand in ALU op
+            "ldpred r1",               # prediction forms not parseable
+            "chkpred r1, [r2]",
+            "",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(AsmSyntaxError):
+            parse_operation(bad)
+
+
+class TestParseFunction:
+    def test_simple(self):
+        fn = parse_function(
+            """
+            function main entry=start
+            start:
+                mov r1, #1
+                halt
+            """
+        )
+        assert fn.name == "main"
+        assert fn.entry_label == "start"
+        assert len(fn.block("start")) == 2
+
+    def test_default_entry(self):
+        fn = parse_function(
+            """
+            function f
+            entry:
+                halt
+            """
+        )
+        assert fn.entry_label == "entry"
+
+    def test_verifies(self):
+        with pytest.raises(Exception):
+            parse_function(
+                """
+                function f
+                entry:
+                    br nowhere
+                """
+            )
+
+    def test_operation_outside_block(self):
+        with pytest.raises(AsmSyntaxError, match="outside any block"):
+            parse_function(
+                """
+                function f
+                    halt
+                """
+            )
+
+    def test_missing_function_header(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_function("entry:\n  halt")
+
+
+class TestParseProgram:
+    SOURCE = """
+    program fib
+    memory 100: 1 1 2 3 5 8
+    reg r_arg = 3
+
+    function main
+    entry:
+        add r1, r_arg, #100
+        load r2, [r1]
+        store r2, [r1+500]
+        halt
+    """
+
+    def test_directives(self):
+        program = parse_program(self.SOURCE)
+        assert program.name == "fib"
+        assert program.initial_memory[102] == 2
+        assert program.initial_registers["r_arg"] == 3
+
+    def test_executes(self):
+        result = run_program(parse_program(self.SOURCE))
+        assert result.registers["r2"] == 3  # memory[103]
+        assert result.memory.peek(603) == 3
+
+    def test_missing_program_directive(self):
+        with pytest.raises(AsmSyntaxError, match="program"):
+            parse_program("function main\nentry:\n  halt")
+
+    def test_duplicate_program_directive(self):
+        with pytest.raises(AsmSyntaxError, match="duplicate"):
+            parse_program("program a\nprogram b")
+
+    def test_float_memory(self):
+        program = parse_program(
+            "program p\nmemory 5: 1.5 2.5\nfunction main\nentry:\n  halt"
+        )
+        assert program.initial_memory[6] == 2.5
+
+
+class TestRoundTrip:
+    def test_program_round_trip(self, loop_program):
+        text = format_program_asm(loop_program)
+        reparsed = parse_program(text)
+        a = run_program(loop_program)
+        b = run_program(reparsed)
+        assert a.registers == b.registers
+        assert a.memory.snapshot() == b.memory.snapshot()
+        # And the text itself is a fixed point.
+        assert format_program_asm(reparsed) == text
+
+    def test_benchmarks_round_trip(self):
+        from repro.workloads.suite import load_benchmark
+
+        for name in ("compress", "li", "swim"):
+            program = load_benchmark(name, scale=0.1)
+            reparsed = parse_program(format_program_asm(program))
+            a = run_program(program)
+            b = run_program(reparsed)
+            assert a.registers == b.registers, name
+            assert a.memory.snapshot() == b.memory.snapshot(), name
+
+    def test_memory_runs_compacted(self, loop_program):
+        text = format_program_asm(loop_program)
+        # the 50-word array prints as a single directive
+        assert text.count("memory ") == 1
+
+
+_REGS = [f"r{i}" for i in range(4)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("add"),
+                st.sampled_from(_REGS),
+                st.sampled_from(_REGS),
+                st.integers(-100, 100),
+            ),
+            st.tuples(
+                st.just("load"),
+                st.sampled_from(_REGS),
+                st.sampled_from(_REGS),
+                st.integers(-8, 8),
+            ),
+            st.tuples(
+                st.just("store"),
+                st.sampled_from(_REGS),
+                st.sampled_from(_REGS),
+                st.integers(-8, 8),
+            ),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_property_random_programs_round_trip(ops):
+    """format -> parse is the identity on behaviour for random programs."""
+    pb = ProgramBuilder("rand")
+    fb = pb.function()
+    fb.block("entry")
+    for kind, a, b, k in ops:
+        if kind == "add":
+            fb.add(a, b, k)
+        elif kind == "load":
+            fb.load(a, b, offset=k)
+        else:
+            fb.store(a, b, offset=k)
+    fb.halt()
+    pb.add(fb.build())
+    program = pb.build()
+
+    reparsed = parse_program(format_program_asm(program))
+    a = run_program(program)
+    b = run_program(reparsed)
+    assert a.registers == b.registers
+    assert a.memory.snapshot() == b.memory.snapshot()

@@ -1,0 +1,115 @@
+"""Unit tests for liveness analysis and the textual printers."""
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.liveness import compute_liveness
+from repro.ir.operation import Reg
+from repro.ir.printer import format_block, format_function, format_program, format_table
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("a", 1)
+        fb.add("b", "a", 2)
+        fb.br("exit")
+        fb.block("exit")
+        fb.store("b", "a", offset=0)
+        fb.halt()
+        info = compute_liveness(fb.build())
+        assert Reg("a") in info.live_out["entry"]
+        assert Reg("b") in info.live_out["entry"]
+        assert info.live_out["exit"] == frozenset()
+        assert info.live_in["exit"] == frozenset({Reg("a"), Reg("b")})
+
+    def test_loop_carried_value_is_live_out_of_loop_block(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("acc", 0)
+        fb.mov("i", 0)
+        fb.br("loop")
+        fb.block("loop")
+        fb.add("acc", "acc", 1)
+        fb.add("i", "i", 1)
+        fb.cmplt("c", "i", 10)
+        fb.brcond("c", "loop", "exit")
+        fb.block("exit")
+        fb.store("acc", "i", offset=0)
+        fb.halt()
+        info = compute_liveness(fb.build())
+        # acc is redefined in the loop but consumed by the next iteration
+        # and by the exit block.
+        assert Reg("acc") in info.live_out["loop"]
+        assert Reg("i") in info.live_out["loop"]
+        # c is only consumed by the loop's own branch.
+        assert Reg("c") not in info.live_out["loop"]
+
+    def test_diamond_merges(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.cmplt("c", "arg", 5)
+        fb.brcond("c", "then", "else")
+        fb.block("then")
+        fb.mov("x", 1)
+        fb.br("join")
+        fb.block("else")
+        fb.mov("x", 2)
+        fb.br("join")
+        fb.block("join")
+        fb.store("x", "arg", offset=0)
+        fb.halt()
+        info = compute_liveness(fb.build())
+        assert Reg("x") in info.live_out["then"]
+        assert Reg("x") in info.live_out["else"]
+        # arg flows all the way from the entry to the join's store.
+        assert Reg("arg") in info.live_in["entry"]
+        assert Reg("arg") in info.live_out["entry"]
+
+    def test_dead_value_not_live(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("dead", 42)
+        fb.halt()
+        info = compute_liveness(fb.build())
+        assert Reg("dead") not in info.live_out["entry"]
+
+
+class TestPrinters:
+    def build_program(self):
+        pb = ProgramBuilder("prog")
+        fb = pb.function()
+        fb.block("entry")
+        fb.mov("a", 1)
+        fb.halt()
+        pb.add(fb.build())
+        pb.memory(10, [1, 2])
+        pb.register("a", 0)
+        return pb.build()
+
+    def test_format_block(self):
+        program = self.build_program()
+        text = format_block(program.main.block("entry"))
+        assert text.startswith("entry:")
+        assert "mov" in text
+
+    def test_format_function(self):
+        text = format_function(self.build_program().main)
+        assert "function main" in text
+        assert "entry:" in text
+
+    def test_format_program(self):
+        text = format_program(self.build_program())
+        assert "program prog" in text
+        assert "memory image: 2 words" in text
+        assert "init-regs: a=0" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # all rows share the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,156 @@
+"""Unit tests for opcode semantics and classification."""
+
+import math
+
+import pytest
+
+from repro.ir.opcodes import (
+    BRANCH_OPCODES,
+    MEMORY_OPCODES,
+    FUClass,
+    Opcode,
+    arity,
+    evaluator,
+    fu_class,
+    is_alu,
+)
+
+
+class TestEvaluatorSemantics:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            (Opcode.ADD, 3, 4, 7),
+            (Opcode.SUB, 3, 4, -1),
+            (Opcode.MUL, 3, 4, 12),
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+            (Opcode.SHL, 1, 4, 16),
+            (Opcode.SHR, 16, 2, 4),
+            (Opcode.MIN, 3, -5, -5),
+            (Opcode.MAX, 3, -5, 3),
+            (Opcode.FADD, 1.5, 2.25, 3.75),
+            (Opcode.FSUB, 1.5, 0.5, 1.0),
+            (Opcode.FMUL, 1.5, 2.0, 3.0),
+        ],
+    )
+    def test_binary(self, opcode, a, b, expected):
+        assert evaluator(opcode)(a, b) == expected
+
+    @pytest.mark.parametrize(
+        "opcode,a,expected",
+        [
+            (Opcode.MOV, 42, 42),
+            (Opcode.NEG, 42, -42),
+            (Opcode.NOT, 0, -1),
+            (Opcode.ABS, -9, 9),
+            (Opcode.FNEG, 1.5, -1.5),
+            (Opcode.FABS, -1.5, 1.5),
+        ],
+    )
+    def test_unary(self, opcode, a, expected):
+        assert evaluator(opcode)(a) == expected
+
+    def test_fsqrt(self):
+        assert evaluator(Opcode.FSQRT)(9.0) == pytest.approx(3.0)
+
+    def test_fsqrt_of_negative_does_not_raise(self):
+        # Speculative re-execution with a wrong operand must not crash.
+        assert evaluator(Opcode.FSQRT)(-4.0) == pytest.approx(2.0)
+
+    def test_comparisons_produce_zero_or_one(self):
+        assert evaluator(Opcode.CMPLT)(1, 2) == 1
+        assert evaluator(Opcode.CMPLT)(2, 1) == 0
+        assert evaluator(Opcode.CMPGE)(2, 2) == 1
+        assert evaluator(Opcode.CMPEQ)(5, 5) == 1
+        assert evaluator(Opcode.CMPNE)(5, 5) == 0
+        assert evaluator(Opcode.CMPLE)(1, 1) == 1
+        assert evaluator(Opcode.CMPGT)(3, 1) == 1
+
+
+class TestDivisionSemantics:
+    def test_div_truncates_toward_zero(self):
+        div = evaluator(Opcode.DIV)
+        assert div(7, 2) == 3
+        assert div(-7, 2) == -3
+        assert div(7, -2) == -3
+        assert div(-7, -2) == 3
+
+    def test_div_by_zero_yields_zero(self):
+        assert evaluator(Opcode.DIV)(5, 0) == 0
+
+    def test_mod_consistent_with_div(self):
+        div = evaluator(Opcode.DIV)
+        mod = evaluator(Opcode.MOD)
+        for a in (-7, -1, 0, 1, 7, 13):
+            for b in (-3, -1, 1, 3, 5):
+                assert div(a, b) * b + mod(a, b) == a
+
+    def test_mod_by_zero_yields_zero(self):
+        assert evaluator(Opcode.MOD)(5, 0) == 0
+
+    def test_fdiv_by_zero_yields_zero(self):
+        assert evaluator(Opcode.FDIV)(5.0, 0.0) == 0.0
+
+    def test_fdiv_normal(self):
+        assert evaluator(Opcode.FDIV)(7.0, 2.0) == pytest.approx(3.5)
+
+
+class TestClassification:
+    def test_branch_opcodes(self):
+        assert Opcode.BR in BRANCH_OPCODES
+        assert Opcode.BRCOND in BRANCH_OPCODES
+        assert Opcode.HALT in BRANCH_OPCODES
+        assert Opcode.ADD not in BRANCH_OPCODES
+
+    def test_memory_opcodes(self):
+        assert MEMORY_OPCODES == {Opcode.LOAD, Opcode.STORE}
+
+    def test_arity(self):
+        assert arity(Opcode.ADD) == 2
+        assert arity(Opcode.MOV) == 1
+        assert arity(Opcode.DIV) == 2
+        with pytest.raises(ValueError):
+            arity(Opcode.LOAD)
+
+    def test_is_alu(self):
+        assert is_alu(Opcode.ADD)
+        assert is_alu(Opcode.MOV)
+        assert is_alu(Opcode.FSQRT)
+        assert not is_alu(Opcode.LOAD)
+        assert not is_alu(Opcode.BR)
+        assert not is_alu(Opcode.LDPRED)
+
+    def test_evaluator_unavailable_for_non_alu(self):
+        with pytest.raises(KeyError):
+            evaluator(Opcode.LOAD)
+
+
+class TestFUClassAssignment:
+    def test_integer_ops_on_ialu(self):
+        assert fu_class(Opcode.ADD) is FUClass.IALU
+        assert fu_class(Opcode.CMPLT) is FUClass.IALU
+
+    def test_float_ops_on_falu(self):
+        for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT):
+            assert fu_class(op) is FUClass.FALU
+
+    def test_memory_ops_on_mem(self):
+        assert fu_class(Opcode.LOAD) is FUClass.MEM
+        assert fu_class(Opcode.STORE) is FUClass.MEM
+
+    def test_branches_on_branch_unit(self):
+        assert fu_class(Opcode.BR) is FUClass.BRANCH
+        assert fu_class(Opcode.BRCOND) is FUClass.BRANCH
+        assert fu_class(Opcode.HALT) is FUClass.BRANCH
+
+    def test_check_prediction_runs_on_memory_unit(self):
+        # Paper section 3: the check re-executes the load, so it occupies
+        # a memory unit rather than needing a new functional unit.
+        assert fu_class(Opcode.CHKPRED) is FUClass.MEM
+
+    def test_ldpred_runs_on_integer_unit(self):
+        # Paper section 3: LdPred behaves like a move sourced from the
+        # value predictor.
+        assert fu_class(Opcode.LDPRED) is FUClass.IALU

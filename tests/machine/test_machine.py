@@ -1,0 +1,134 @@
+"""Unit tests for machine descriptions, resources and configurations."""
+
+import pytest
+
+from repro.ir.opcodes import FUClass, Opcode
+from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W, UNLIMITED, by_name
+from repro.machine.description import DEFAULT_LATENCIES, MachineDescription
+from repro.machine.resources import FUPool, ReservationTable
+
+
+class TestFUPool:
+    def test_counts(self):
+        pool = FUPool({FUClass.IALU: 2, FUClass.MEM: 1})
+        assert pool.count(FUClass.IALU) == 2
+        assert pool.count(FUClass.FALU) == 0
+        assert pool.total == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FUPool({FUClass.IALU: -1})
+
+    def test_scaled(self):
+        pool = FUPool({FUClass.IALU: 2, FUClass.MEM: 1}).scaled(2)
+        assert pool.count(FUClass.IALU) == 4
+        assert pool.count(FUClass.MEM) == 2
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FUPool({FUClass.IALU: 1}).scaled(0)
+
+    def test_str(self):
+        assert "ialu" in str(FUPool({FUClass.IALU: 2}))
+
+
+class TestReservationTable:
+    def pool(self):
+        return FUPool({FUClass.IALU: 2, FUClass.MEM: 1})
+
+    def test_unit_exhaustion(self):
+        table = ReservationTable(self.pool(), issue_width=4)
+        assert table.can_issue(0, FUClass.MEM)
+        table.issue(0, FUClass.MEM)
+        assert not table.can_issue(0, FUClass.MEM)
+        assert table.can_issue(1, FUClass.MEM)
+
+    def test_issue_width_limit(self):
+        table = ReservationTable(self.pool(), issue_width=2)
+        table.issue(0, FUClass.IALU)
+        table.issue(0, FUClass.IALU)
+        # a MEM unit is free, but the instruction word is full
+        assert not table.can_issue(0, FUClass.MEM)
+        assert table.slots_used(0) == 2
+
+    def test_issue_on_full_unit_raises(self):
+        table = ReservationTable(self.pool(), issue_width=8)
+        table.issue(0, FUClass.MEM)
+        with pytest.raises(RuntimeError, match="no free"):
+            table.issue(0, FUClass.MEM)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ReservationTable(self.pool(), issue_width=0)
+
+
+class TestMachineDescription:
+    def test_default_latency_is_one(self):
+        assert PLAYDOH_4W.latency(Opcode.ADD) == 1
+        assert PLAYDOH_4W.latency(Opcode.MOV) == 1
+
+    def test_documented_latencies(self):
+        assert PLAYDOH_4W.latency(Opcode.LOAD) == 3
+        assert PLAYDOH_4W.latency(Opcode.MUL) == 3
+        assert PLAYDOH_4W.latency(Opcode.FADD) == 2
+
+    def test_chkpred_latency_derives_from_load(self):
+        assert PLAYDOH_4W.latency(Opcode.CHKPRED) == PLAYDOH_4W.latency(Opcode.LOAD)
+        slow = PLAYDOH_4W.with_latency(Opcode.LOAD, 5)
+        assert slow.latency(Opcode.CHKPRED) == 5
+
+    def test_chkpred_compare_cost(self):
+        from dataclasses import replace
+
+        costly = replace(PLAYDOH_4W, check_compare_cost=1)
+        assert costly.latency(Opcode.CHKPRED) == 4
+
+    def test_ldpred_is_unit_latency(self):
+        assert PLAYDOH_4W.latency(Opcode.LDPRED) == 1
+
+    def test_widened(self):
+        wide = PLAYDOH_4W.widened(2)
+        assert wide.issue_width == 8
+        assert wide.units(FUClass.IALU) == 2 * PLAYDOH_4W.units(FUClass.IALU)
+        assert wide.latency(Opcode.LOAD) == PLAYDOH_4W.latency(Opcode.LOAD)
+
+    def test_with_latency_does_not_mutate(self):
+        changed = PLAYDOH_4W.with_latency(Opcode.ADD, 2)
+        assert changed.latency(Opcode.ADD) == 2
+        assert PLAYDOH_4W.latency(Opcode.ADD) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", issue_width=0, pool=FUPool({FUClass.IALU: 1})
+            )
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad",
+                issue_width=1,
+                pool=FUPool({FUClass.IALU: 1}),
+                latencies={Opcode.ADD: 0},
+            )
+
+    def test_str(self):
+        assert "playdoh-4w" in str(PLAYDOH_4W)
+
+
+class TestConfigs:
+    def test_8w_doubles_4w(self):
+        for fu in FUClass:
+            assert PLAYDOH_8W.units(fu) == 2 * PLAYDOH_4W.units(fu)
+        assert PLAYDOH_8W.issue_width == 2 * PLAYDOH_4W.issue_width
+
+    def test_unlimited_is_wide(self):
+        assert UNLIMITED.issue_width >= 64
+
+    def test_by_name(self):
+        assert by_name("playdoh-4w") is PLAYDOH_4W
+        assert by_name("playdoh-8w") is PLAYDOH_8W
+        with pytest.raises(KeyError):
+            by_name("nonexistent")
+
+    def test_default_latencies_table_complete_enough(self):
+        assert Opcode.LOAD in DEFAULT_LATENCIES
+        assert Opcode.LDPRED in DEFAULT_LATENCIES

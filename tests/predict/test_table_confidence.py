@@ -1,0 +1,98 @@
+"""Unit tests for the value-prediction table and confidence estimation."""
+
+import pytest
+
+from repro.predict.confidence import ConfidenceConfig, ConfidenceEstimator
+from repro.predict.stride import StridePredictor
+from repro.predict.table import ValuePredictionTable
+
+
+class TestValuePredictionTable:
+    def test_unbounded_table_behaves_like_predictor(self):
+        table = ValuePredictionTable(StridePredictor())
+        for v in (2, 4, 6, 8):
+            table.train("k", v)
+        assert table.lookup("k") == 10
+        assert table.tag_misses == 0
+
+    def test_observe_combines_lookup_and_train(self):
+        table = ValuePredictionTable(StridePredictor())
+        assert table.observe("k", 5) is None
+        table.observe("k", 10)
+        table.observe("k", 15)
+        assert table.observe("k", 20) == 20
+
+    def test_capacity_conflicts_cause_tag_misses(self):
+        table = ValuePredictionTable(StridePredictor(), capacity=1)
+        for v in (1, 2, 3):
+            table.train("a", v)
+        # 'b' maps to the same (only) slot and evicts 'a'.
+        table.train("b", 10)
+        assert table.lookup("a") is None
+        assert table.tag_misses == 1
+
+    def test_reoccupation_restores_visibility(self):
+        table = ValuePredictionTable(StridePredictor(), capacity=1)
+        for v in (1, 2, 3):
+            table.train("a", v)
+        table.train("b", 10)
+        table.train("a", 4)  # re-claims the slot
+        assert table.lookup("a") is not None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ValuePredictionTable(capacity=0)
+
+    def test_default_predictor_is_hybrid(self):
+        table = ValuePredictionTable()
+        assert table.predictor.name == "hybrid"
+
+    def test_reset(self):
+        table = ValuePredictionTable(StridePredictor(), capacity=4)
+        table.train("a", 1)
+        table.lookup("a")
+        table.reset()
+        assert table.lookups == 0
+        assert table.lookup("a") is None
+
+
+class TestConfidence:
+    def test_threshold_gating(self):
+        est = ConfidenceEstimator(ConfidenceConfig(max_count=4, increment=1, decrement=2, threshold=2))
+        key = "op1"
+        assert not est.confident(key)
+        est.record(key, True)
+        est.record(key, True)
+        assert est.confident(key)
+
+    def test_misprediction_penalised_harder(self):
+        est = ConfidenceEstimator()
+        key = "op1"
+        for _ in range(10):
+            est.record(key, True)
+        level_before = est.level(key)
+        est.record(key, False)
+        assert level_before - est.level(key) == est.config.decrement
+
+    def test_saturation(self):
+        est = ConfidenceEstimator(ConfidenceConfig(max_count=3, threshold=2))
+        for _ in range(10):
+            est.record("k", True)
+        assert est.level("k") == 3
+        for _ in range(10):
+            est.record("k", False)
+        assert est.level("k") == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceConfig(threshold=0)
+        with pytest.raises(ValueError):
+            ConfidenceConfig(max_count=4, threshold=5)
+        with pytest.raises(ValueError):
+            ConfidenceConfig(increment=0)
+
+    def test_reset(self):
+        est = ConfidenceEstimator()
+        est.record("k", True)
+        est.reset()
+        assert est.level("k") == 0

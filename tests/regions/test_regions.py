@@ -1,0 +1,171 @@
+"""Tests for region enlargement: block merging and loop unrolling."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder, ProgramBuilder
+from repro.ir.verifier import verify_function
+from repro.profiling.interpreter import run_program
+from repro.regions.merge import merge_straightline
+from repro.regions.unroll import UnrollError, unroll_loop, unroll_program_loop
+
+
+def counted_loop_program(trips=40, store_addr=5000):
+    pb = ProgramBuilder("t")
+    fb = pb.function()
+    fb.block("entry")
+    fb.mov("i", 0)
+    fb.mov("acc", 0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.add("addr", "i", 1000)
+    fb.load("v", "addr")
+    fb.add("acc", "acc", "v")
+    fb.add("i", "i", 1)
+    fb.cmplt("c", "i", trips)
+    fb.brcond("c", "loop", "exit")
+    fb.block("exit")
+    fb.store("acc", "i", offset=store_addr)
+    fb.halt()
+    pb.add(fb.build())
+    pb.memory(1000, [3 * k + 1 for k in range(trips)])
+    return pb.build()
+
+
+class TestMergeStraightline:
+    def test_merges_unique_chain(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.mov("a", 1)
+        fb.br("mid")
+        fb.block("mid")
+        fb.add("b", "a", 2)
+        fb.br("tail")
+        fb.block("tail")
+        fb.store("b", "a", offset=9)
+        fb.halt()
+        merged = merge_straightline(fb.build())
+        assert [b.label for b in merged] == ["entry"]
+        assert len(merged.block("entry")) == 4  # mov, add, store, halt
+        verify_function(merged)
+
+    def test_merged_function_equivalent(self):
+        program = counted_loop_program()
+        merged_fn = merge_straightline(program.main)
+        from repro.ir.program import Program
+
+        clone = Program("merged")
+        clone.add_function(merged_fn)
+        clone.initial_memory.update(program.initial_memory)
+        base = run_program(program)
+        new = run_program(clone)
+        assert new.registers == base.registers
+        assert new.memory.snapshot() == base.memory.snapshot()
+
+    def test_does_not_merge_across_join(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.cmplt("c", "x", 1)
+        fb.brcond("c", "a", "b")
+        fb.block("a")
+        fb.br("join")
+        fb.block("b")
+        fb.br("join")
+        fb.block("join")  # two predecessors: must survive
+        fb.halt()
+        merged = merge_straightline(fb.build())
+        assert merged.has_block("join")
+
+    def test_does_not_merge_self_loop(self):
+        program = counted_loop_program()
+        merged = merge_straightline(program.main)
+        assert merged.has_block("loop")
+
+    def test_loop_exit_chain_merges(self):
+        # loop -> exit is not mergeable (loop has 2 successors), but the
+        # entry -> loop edge is not mergeable either (loop has 2 preds).
+        program = counted_loop_program()
+        merged = merge_straightline(program.main)
+        assert {b.label for b in merged} == {"entry", "loop", "exit"}
+
+
+class TestUnrollLoop:
+    @pytest.mark.parametrize("factor", [2, 4, 8])
+    def test_equivalence_when_divisible(self, factor):
+        program = counted_loop_program(trips=40)
+        unrolled = unroll_program_loop(program, "loop", factor)
+        base = run_program(program)
+        new = run_program(unrolled)
+        original_regs = {
+            k: v for k, v in new.registers.items() if "__u" not in k
+        }
+        assert original_regs == base.registers
+        assert new.memory.snapshot() == base.memory.snapshot()
+
+    def test_fewer_dynamic_operations(self):
+        program = counted_loop_program(trips=40)
+        unrolled = unroll_program_loop(program, "loop", 4)
+        assert (
+            run_program(unrolled).dynamic_operations
+            < run_program(program).dynamic_operations
+        )
+
+    def test_indivisible_trip_count_diverges(self):
+        # 41 trips, factor 2: the elided mid-block exit test makes the
+        # unrolled program run one extra half-iteration — the
+        # architectural-equivalence check used by the experiments must
+        # catch exactly this.
+        program = counted_loop_program(trips=41)
+        unrolled = unroll_program_loop(program, "loop", 2)
+        base = run_program(program)
+        new = run_program(unrolled)
+        assert new.registers["i"] != base.registers["i"]
+
+    def test_unrolled_block_is_larger(self):
+        program = counted_loop_program()
+        unrolled = unroll_program_loop(program, "loop", 2)
+        original = program.main.block("loop")
+        bigger = unrolled.main.block("loop")
+        # 2x the body minus one elided compare, plus the branch.
+        assert len(bigger) == 2 * len(original.body) - 1 + 1
+
+    def test_renaming_exposes_parallelism(self, m4):
+        from repro.sched.list_scheduler import schedule_block
+
+        program = counted_loop_program()
+        unrolled = unroll_program_loop(program, "loop", 2)
+        single = schedule_block(program.main.block("loop"), m4).length
+        double = schedule_block(unrolled.main.block("loop"), m4).length
+        # Two renamed iterations overlap: much cheaper than 2x serial.
+        assert double < 2 * single
+
+    def test_verifies(self):
+        program = counted_loop_program()
+        unrolled = unroll_program_loop(program, "loop", 2)
+        verify_function(unrolled.main)
+
+    def test_factor_validation(self):
+        program = counted_loop_program()
+        with pytest.raises(UnrollError, match="factor"):
+            unroll_loop(program.main, "loop", 1)
+
+    def test_non_loop_rejected(self):
+        program = counted_loop_program()
+        with pytest.raises(UnrollError, match="self-loop"):
+            unroll_loop(program.main, "exit", 2)
+
+    def test_condition_with_other_uses_rejected(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function()
+        fb.block("entry")
+        fb.mov("i", 0)
+        fb.br("loop")
+        fb.block("loop")
+        fb.add("i", "i", 1)
+        fb.cmplt("c", "i", 10)
+        fb.add("x", "c", 1)  # condition escapes into the dataflow
+        fb.brcond("c", "loop", "exit")
+        fb.block("exit")
+        fb.halt()
+        pb.add(fb.build())
+        with pytest.raises(UnrollError, match="feed only the branch"):
+            unroll_loop(pb.build().main, "loop", 2)

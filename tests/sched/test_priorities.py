@@ -1,0 +1,70 @@
+"""Direct unit tests for the list-scheduling priority functions."""
+
+import pytest
+
+from repro.ddg.builder import build_ddg
+from repro.ddg.critical_path import analyze
+from repro.ir.builder import FunctionBuilder
+from repro.sched.priorities import (
+    PRIORITY_FACTORIES,
+    height_priority,
+    slack_priority,
+    source_order_priority,
+)
+
+
+@pytest.fixture
+def analysed(m4):
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    load = fb.load("a", "p")     # heads the long chain
+    dep = fb.add("b", "a", 1)
+    slackful = fb.mov("z", 5)    # independent, lots of slack
+    fb.halt()
+    block = fb.build().block("entry")
+    graph = build_ddg(block, m4)
+    return analyze(graph, m4), load, dep, slackful
+
+
+class TestHeightPriority:
+    def test_deeper_op_wins(self, analysed):
+        analysis, load, dep, slackful = analysed
+        priority = height_priority(analysis)
+        assert priority(load.op_id) > priority(slackful.op_id)
+        assert priority(load.op_id) > priority(dep.op_id)
+
+    def test_tie_break_prefers_earlier_op(self, analysed):
+        analysis, load, dep, slackful = analysed
+        priority = height_priority(analysis)
+        # equal heights tie-break on smaller op id (earlier program order)
+        a, b = sorted([dep.op_id, slackful.op_id])
+        if analysis.height[a] == analysis.height[b]:
+            assert priority(a) > priority(b)
+
+
+class TestSlackPriority:
+    def test_critical_op_wins(self, analysed):
+        analysis, load, dep, slackful = analysed
+        priority = slack_priority(analysis)
+        assert priority(load.op_id) > priority(slackful.op_id)
+
+    def test_zero_slack_sorts_first(self, analysed):
+        analysis, load, dep, slackful = analysed
+        assert analysis.slack(load.op_id) == 0
+        assert analysis.slack(slackful.op_id) > 0
+
+
+class TestSourceOrder:
+    def test_program_order(self, analysed):
+        analysis, load, dep, slackful = analysed
+        priority = source_order_priority()
+        assert priority(load.op_id) > priority(dep.op_id) > priority(slackful.op_id)
+
+
+class TestRegistry:
+    def test_factories(self, analysed):
+        analysis, load, _, _ = analysed
+        assert set(PRIORITY_FACTORIES) == {"height", "slack", "source"}
+        for factory in PRIORITY_FACTORIES.values():
+            priority = factory(analysis)
+            assert isinstance(priority(load.op_id), tuple)

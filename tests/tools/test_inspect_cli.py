@@ -1,0 +1,72 @@
+"""Tests for the repro-inspect command-line tool."""
+
+import pytest
+
+from repro.tools.inspect_cli import main, _parse_scenario
+
+
+class TestParseScenario:
+    def test_best_worst(self):
+        assert _parse_scenario("best", 3) == [True, True, True]
+        assert _parse_scenario("worst", 2) == [False, False]
+
+    def test_explicit_pattern(self):
+        assert _parse_scenario("1,0", 2) == [True, False]
+
+    def test_bad_patterns(self):
+        with pytest.raises(SystemExit):
+            _parse_scenario("1,0", 3)
+        with pytest.raises(SystemExit):
+            _parse_scenario("1,2", 2)
+
+
+class TestCLI:
+    def test_list_blocks(self, capsys):
+        assert main(["--benchmark", "vortex", "--list", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "lookup" in out and "commit" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["--benchmark", "gcc"]) == 2
+
+    def test_unknown_block(self, capsys):
+        assert main(["--benchmark", "vortex", "--block", "nope", "--scale", "0.2"]) == 2
+
+    def test_full_inspection(self, capsys):
+        code = main(
+            ["--benchmark", "vortex", "--block", "lookup", "--scale", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assembly:" in out
+        assert "load profile:" in out
+        assert "critical path:" in out
+        assert "original schedule" in out
+        assert "speculative schedule" in out
+        assert "Compensation Code Engine" in out  # timeline rendered
+
+    def test_explicit_scenario(self, capsys):
+        code = main(
+            [
+                "--benchmark", "vortex", "--block", "lookup",
+                "--scale", "0.5", "--scenario", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0/1 mispredicted" in out
+
+    def test_unspeculated_block(self, capsys):
+        # at an impossible threshold nothing is predicted
+        code = main(
+            [
+                "--benchmark", "vortex", "--block", "lookup",
+                "--scale", "0.5", "--threshold", "1.5",
+            ]
+        )
+        assert code == 0
+        assert "nothing profitable" in capsys.readouterr().out
+
+    def test_missing_block_defaults_to_list(self, capsys):
+        assert main(["--benchmark", "li", "--scale", "0.2"]) == 0
+        assert "blocks of li" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Developer harness: per-benchmark metrics at both widths.
+
+Run:  python tools/tune_suite.py [bench ...]
+"""
+
+import sys
+import time
+
+from repro.machine import PLAYDOH_4W, PLAYDOH_8W
+from repro.profiling import profile_program
+from repro.core import compile_program, simulate_program, OutcomeClass
+from repro.workloads import BENCHMARKS, load_benchmark
+
+# Paper Table 4 best-case targets: (ex-time fraction, schedule fraction @4w, schedule fraction @8w)
+TARGETS = {
+    "compress": (0.48, 0.80),
+    "ijpeg": (0.35, 0.82),
+    "li": (0.49, 0.85),
+    "m88ksim": (0.53, 0.73),
+    "vortex": (0.49, 0.68),
+    "hydro2d": (0.63, 0.80),
+    "swim": (0.49, 0.98),
+    "tomcatv": (0.51, 0.95),
+}
+
+
+def main(names):
+    t0 = time.time()
+    print(f"{'bench':9s} | target tf/len | 4w: tf_ac len_b len_w np | 8w: tf_ac len_b len_w np | acc")
+    for name in names:
+        prog = load_benchmark(name)
+        profile = profile_program(prog)
+        t_tf, t_len = TARGETS[name]
+        row = f"{name:9s} |  {t_tf:.2f} {t_len:.2f}   |"
+        acc = 0.0
+        for m in (PLAYDOH_4W, PLAYDOH_8W):
+            comp = compile_program(prog, m, profile)
+            res = simulate_program(comp)
+            npred = sum(
+                len(comp.block(l).predicted_load_ids) for l in comp.speculated_labels
+            )
+            row += (
+                f"  {res.time_fraction(OutcomeClass.ALL_CORRECT):.2f}"
+                f" {comp.weighted_length_fraction(True):.2f}"
+                f" {comp.weighted_length_fraction(False):.2f} {npred} |"
+            )
+            acc = res.prediction_accuracy
+        print(row + f" {acc:.2f}")
+    print(f"[{time.time()-t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    names = sys.argv[1:] or list(BENCHMARKS)
+    main(names)
