@@ -3,20 +3,32 @@
 
 The paper compares a 4-wide and an 8-wide machine and observes that the
 wider machine speculates more and improves more.  This example extends
-the sweep to 2-, 4-, 8- and 16-wide machines derived from the same base
+the sweep to 4-, 8- and 16-wide machines derived from the same base
 configuration, reporting per width: predictions selected, the best-case
 schedule-length fraction, and the measured dynamic speedup.
 
-Run:  python examples/sweep_issue_width.py [scale]
+The sweep is expressed as a :func:`repro.runner.pipeline_jobs` graph and
+handed to the runner, so ``--jobs N`` parallelises the 3 machines x 8
+benchmarks cold run and a rerun (say, after adding a width) only
+executes the new machine's compile/simulate jobs — profiles are shared
+across widths by construction.
+
+Run:  python examples/sweep_issue_width.py [scale] [--jobs N]
 """
 
-import sys
+import argparse
 
-from repro.core import compile_program, simulate_program
 from repro.ir import format_table
 from repro.machine import PLAYDOH_4W
-from repro.profiling import profile_program
-from repro.workloads import benchmark_names, load_benchmark
+from repro.runner import (
+    DiskCache,
+    Runner,
+    compile_spec,
+    pipeline_jobs,
+    simulate_spec,
+)
+from repro.workloads import benchmark_names
+
 
 def machines():
     half = PLAYDOH_4W  # 4-wide base
@@ -28,24 +40,35 @@ def machines():
 
 
 def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scale", nargs="?", type=float, default=0.5)
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+
+    names = benchmark_names()
+    widths = machines()
+    jobs = pipeline_jobs(
+        names, [machine for _, machine in widths], scale=args.scale
+    )
+    with Runner(jobs=args.jobs, cache=DiskCache(root=args.cache_dir)) as runner:
+        results = runner.run(jobs)
 
     rows = []
-    for label, machine in machines():
+    for label, machine in widths:
         predictions = 0
         length_fractions = []
         total_nopred = 0
         total_proposed = 0
-        for name in benchmark_names():
-            program = load_benchmark(name, scale=scale)
-            profile = profile_program(program)
-            compilation = compile_program(program, machine, profile)
+        for name in names:
+            compilation = results[compile_spec(name, machine, args.scale).key()]
             predictions += sum(
                 len(compilation.block(l).predicted_load_ids)
                 for l in compilation.speculated_labels
             )
             length_fractions.append(compilation.weighted_length_fraction(best=True))
-            result = simulate_program(compilation)
+            result = results[simulate_spec(name, machine, args.scale).key()]
             total_nopred += result.cycles_nopred
             total_proposed += result.cycles_proposed
         rows.append(

@@ -54,6 +54,16 @@ class BlockCompilation:
     baseline: Optional[BaselineBlock] = None
     _pattern_cache: Dict[Tuple[bool, ...], BlockRun] = field(default_factory=dict)
 
+    def __getstate__(self) -> Dict:
+        # The pattern cache is a pure memo of simulate_block results; it
+        # is dropped on pickling so a serialised compilation is canonical
+        # (independent of which patterns happened to be timed first) and
+        # the runner's on-disk artifacts stay small.  It is rebuilt on
+        # demand after unpickling.
+        state = self.__dict__.copy()
+        state["_pattern_cache"] = {}
+        return state
+
     @property
     def speculated(self) -> bool:
         return self.spec_schedule is not None

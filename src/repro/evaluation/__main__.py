@@ -5,6 +5,20 @@ Usage::
     python -m repro.evaluation all
     python -m repro.evaluation table2 table4 --scale 0.5
     repro-eval figure8 --threshold 0.8
+    repro-eval all --jobs 4                  # parallel pipeline execution
+    repro-eval table2 --benchmarks swim,li   # restrict the suite
+    repro-eval all --events run.jsonl        # JSONL progress/metrics events
+    repro-eval all --no-cache                # bypass the on-disk result cache
+    repro-eval all --cache-dir /tmp/repro    # relocate it
+    repro-eval cache stats                   # inspect it
+    repro-eval cache clear                   # empty it
+
+Pipeline execution (profile -> compile -> simulate per benchmark and
+machine) is delegated to :mod:`repro.runner`: ``--jobs N`` runs the job
+graph on ``N`` worker processes (``0`` = one per CPU), and results are
+cached on disk keyed by a content hash of every relevant knob, so a
+rerun with identical settings executes zero pipeline jobs.  Output is
+byte-identical regardless of ``--jobs`` and cache temperature.
 """
 
 from __future__ import annotations
@@ -13,11 +27,13 @@ import argparse
 import dataclasses
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.evaluation import baseline_cmp, figure8, regions_exp, table2, table3, table4
 from repro.evaluation.experiment import Evaluation, EvaluationSettings
 from repro.evaluation.report import EXPERIMENTS, full_report, run_experiment
+from repro.runner import DiskCache, EventLog, ProgressRenderer, Runner
 
 #: Experiments with structured row output available as JSON.
 _COMPUTE = {
@@ -42,7 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         default=["all"],
-        help=f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=(
+            f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'; "
+            "or the cache maintenance commands 'cache stats' / 'cache clear'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -57,6 +76,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile prediction-rate threshold (paper: 0.65)",
     )
     parser.add_argument(
+        "--benchmarks",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="restrict the suite to these benchmarks (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="pipeline worker processes (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="on-disk result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-lines progress events to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-job progress lines to stderr",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit structured rows as JSON instead of rendered tables",
@@ -64,40 +118,100 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_benchmarks(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    names: List[str] = []
+    for chunk in values:
+        names.extend(name for name in chunk.split(",") if name)
+    return names
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    cache = DiskCache(
+        root=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache,
+    )
+    subcommand = args.experiments[1] if len(args.experiments) > 1 else "stats"
+    if subcommand == "stats":
+        stats = cache.stats()
+        print(json.dumps(stats.as_dict(), indent=2) if args.json else stats.render())
+        return 0
+    if subcommand == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(
+        f"unknown cache command {subcommand!r}; available: stats, clear",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.experiments and args.experiments[0] == "cache":
+        return _cache_command(args)
+
     settings = EvaluationSettings(scale=args.scale).with_threshold(args.threshold)
-    evaluation = Evaluation(settings)
+    try:
+        settings = settings.with_benchmarks(_parse_benchmarks(args.benchmarks))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    cache = DiskCache(
+        root=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache,
+    )
+    events = EventLog(
+        path=args.events,
+        renderer=ProgressRenderer() if args.progress else None,
+    )
+    runner = Runner(jobs=args.jobs, cache=cache, events=events)
+    evaluation = Evaluation(settings, runner=runner)
 
     names = args.experiments
-    if names == ["all"] or "all" in names:
-        if args.json:
-            payload = {
-                name: [dataclasses.asdict(row) for row in compute(evaluation)]
-                for name, compute in _COMPUTE.items()
-            }
-            print(json.dumps(payload, indent=2, default=str))
-        else:
-            print(full_report(evaluation))
-        return 0
-    for name in names:
-        if name not in EXPERIMENTS:
-            print(
-                f"unknown experiment {name!r}; available: "
-                f"{', '.join(EXPERIMENTS)} or 'all'",
-                file=sys.stderr,
-            )
-            return 2
-        if args.json:
-            if name not in _COMPUTE:
-                print(f"experiment {name!r} has no JSON form", file=sys.stderr)
+    run_all = names == ["all"] or "all" in names
+    try:
+        for name in names:
+            if not run_all and name not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; available: "
+                    f"{', '.join(EXPERIMENTS)} or 'all'",
+                    file=sys.stderr,
+                )
                 return 2
-            rows = [dataclasses.asdict(row) for row in _COMPUTE[name](evaluation)]
-            print(json.dumps(rows, indent=2, default=str))
-        else:
-            print(run_experiment(name, evaluation))
-            print()
-    return 0
+        # Execute the whole pipeline job graph up front — in parallel when
+        # --jobs allows — so the experiment generators below only read
+        # warmed caches.
+        evaluation.warm(None if run_all else names)
+
+        if run_all:
+            if args.json:
+                payload = {
+                    name: [dataclasses.asdict(row) for row in compute(evaluation)]
+                    for name, compute in _COMPUTE.items()
+                }
+                print(json.dumps(payload, indent=2, default=str))
+            else:
+                print(full_report(evaluation))
+            return 0
+        for name in names:
+            if args.json:
+                if name not in _COMPUTE:
+                    print(f"experiment {name!r} has no JSON form", file=sys.stderr)
+                    return 2
+                rows = [dataclasses.asdict(row) for row in _COMPUTE[name](evaluation)]
+                print(json.dumps(rows, indent=2, default=str))
+            else:
+                print(run_experiment(name, evaluation))
+                print()
+        return 0
+    finally:
+        runner.close()
+        events.close()
 
 
 if __name__ == "__main__":

@@ -3,12 +3,20 @@
 :class:`Evaluation` caches profiles, compilations and dynamic simulation
 results per (benchmark, machine) so the table/figure generators can share
 work — profiling is the expensive step and every experiment needs it.
+
+When constructed with a :class:`repro.runner.Runner`, every pipeline
+stage is delegated to the runner as a declarative job: stage results are
+then additionally memoised on disk (surviving across processes and
+threshold/scale sweeps) and :meth:`Evaluation.warm` can execute the
+whole job graph for a set of experiments in parallel before the
+experiments read it back.  Without a runner the behaviour is the
+original in-process one — no disk I/O, no worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
 from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W
@@ -17,7 +25,10 @@ from repro.profiling.profile_run import ProfileData, profile_program
 from repro.core.metrics import ProgramCompilation, compile_program
 from repro.core.program_sim import ProgramSimResult, simulate_program
 from repro.core.speculation import SpeculationConfig
-from repro.workloads.suite import BENCHMARKS, load_benchmark
+from repro.workloads.suite import BENCHMARKS, load_benchmark, resolve_benchmarks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.runner import Job, Runner
 
 
 @dataclass(frozen=True)
@@ -33,12 +44,41 @@ class EvaluationSettings:
             self, spec_config=replace(self.spec_config, threshold=threshold)
         )
 
+    def with_benchmarks(
+        self, benchmarks: Optional[Sequence[str]]
+    ) -> "EvaluationSettings":
+        """Restrict the suite; names are validated against the registry."""
+        if not benchmarks:
+            return self
+        return replace(self, benchmarks=resolve_benchmarks(benchmarks))
+
+
+#: Pipeline products each experiment reads, as (stage, machine attr,
+#: model_icache) triples.  ``warm`` uses this to pre-build the job graph.
+EXPERIMENT_NEEDS: Dict[str, Tuple[Tuple[str, str, bool], ...]] = {
+    "table2": (("simulate", "machine_4w", False),),
+    "table3": (("compile", "machine_4w", False),),
+    "table4": (
+        ("simulate", "machine_4w", False),
+        ("simulate", "machine_8w", False),
+    ),
+    "figure8": (("compile", "machine_4w", False),),
+    "baseline": (("simulate", "machine_4w", True),),
+    "regions": (("compile", "machine_4w", False),),
+    "example": (),
+}
+
 
 class Evaluation:
     """Caching front end over profile -> compile -> simulate."""
 
-    def __init__(self, settings: Optional[EvaluationSettings] = None):
+    def __init__(
+        self,
+        settings: Optional[EvaluationSettings] = None,
+        runner: Optional["Runner"] = None,
+    ):
         self.settings = settings or EvaluationSettings()
+        self.runner = runner
         self._programs: Dict[str, Program] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
@@ -48,12 +88,35 @@ class Evaluation:
 
     def program(self, name: str) -> Program:
         if name not in self._programs:
-            self._programs[name] = load_benchmark(name, scale=self.settings.scale)
+            if self.runner is not None:
+                # The runner's build job is the canonical program: its op
+                # ids are what the cached profiles and compilations
+                # reference, so the parent must use the same object graph.
+                # adopt_program keeps later op-creating passes (regions
+                # unrolling) from minting ids that collide with it.
+                from repro.runner import adopt_program, build_job
+
+                self._programs[name] = adopt_program(
+                    self.runner.run_job(
+                        build_job(name, scale=self.settings.scale)
+                    )
+                )
+            else:
+                self._programs[name] = load_benchmark(
+                    name, scale=self.settings.scale
+                )
         return self._programs[name]
 
     def profile(self, name: str) -> ProfileData:
         if name not in self._profiles:
-            self._profiles[name] = profile_program(self.program(name))
+            if self.runner is not None:
+                from repro.runner import profile_job
+
+                self._profiles[name] = self.runner.run_job(
+                    profile_job(name, scale=self.settings.scale)
+                )
+            else:
+                self._profiles[name] = profile_program(self.program(name))
         return self._profiles[name]
 
     def compilation(
@@ -61,12 +124,24 @@ class Evaluation:
     ) -> ProgramCompilation:
         key = (name, machine.name)
         if key not in self._compilations:
-            self._compilations[key] = compile_program(
-                self.program(name),
-                machine,
-                self.profile(name),
-                config=self.settings.spec_config,
-            )
+            if self.runner is not None:
+                from repro.runner import compile_job
+
+                self._compilations[key] = self.runner.run_job(
+                    compile_job(
+                        name,
+                        machine,
+                        scale=self.settings.scale,
+                        spec_config=self.settings.spec_config,
+                    )
+                )
+            else:
+                self._compilations[key] = compile_program(
+                    self.program(name),
+                    machine,
+                    self.profile(name),
+                    config=self.settings.spec_config,
+                )
         return self._compilations[key]
 
     def simulation(
@@ -77,10 +152,74 @@ class Evaluation:
     ) -> ProgramSimResult:
         key = (name, machine.name, model_icache)
         if key not in self._simulations:
-            self._simulations[key] = simulate_program(
-                self.compilation(name, machine), model_icache=model_icache
-            )
+            if self.runner is not None:
+                from repro.runner import simulate_job
+
+                self._simulations[key] = self.runner.run_job(
+                    simulate_job(
+                        name,
+                        machine,
+                        scale=self.settings.scale,
+                        spec_config=self.settings.spec_config,
+                        model_icache=model_icache,
+                    )
+                )
+            else:
+                self._simulations[key] = simulate_program(
+                    self.compilation(name, machine), model_icache=model_icache
+                )
         return self._simulations[key]
+
+    # -- runner integration -------------------------------------------------
+
+    def required_jobs(
+        self, experiments: Optional[Iterable[str]] = None
+    ) -> List["Job"]:
+        """The job graph covering ``experiments`` (default: all of them)."""
+        from repro.runner import compile_job, simulate_job
+
+        names = list(experiments) if experiments is not None else list(
+            EXPERIMENT_NEEDS
+        )
+        jobs: List["Job"] = []
+        seen = set()
+        for experiment in names:
+            for stage, machine_attr, model_icache in EXPERIMENT_NEEDS.get(
+                experiment, ()
+            ):
+                machine = getattr(self, machine_attr)
+                for benchmark in self.settings.benchmarks:
+                    if stage == "simulate":
+                        job = simulate_job(
+                            benchmark,
+                            machine,
+                            scale=self.settings.scale,
+                            spec_config=self.settings.spec_config,
+                            model_icache=model_icache,
+                        )
+                    else:
+                        job = compile_job(
+                            benchmark,
+                            machine,
+                            scale=self.settings.scale,
+                            spec_config=self.settings.spec_config,
+                        )
+                    if job.key() not in seen:
+                        seen.add(job.key())
+                        jobs.append(job)
+        return jobs
+
+    def warm(self, experiments: Optional[Iterable[str]] = None) -> int:
+        """Execute (in parallel, when the runner allows) every pipeline job
+        the given experiments will need, so subsequent ``compute`` calls
+        are pure cache reads.  Returns the number of jobs in the graph.
+        No-op without a runner."""
+        if self.runner is None:
+            return 0
+        jobs = self.required_jobs(experiments)
+        if jobs:
+            self.runner.run(jobs)
+        return len(jobs)
 
     # -- convenience ----------------------------------------------------------
 
@@ -98,9 +237,13 @@ class Evaluation:
 
 
 def geometric_mean(values: List[float]) -> float:
-    """Geometric mean (safe for the ratio metrics used throughout)."""
+    """Geometric mean (safe for the ratio metrics used throughout).
+
+    Raises ``ValueError`` for an empty input — a silently-empty
+    experiment must not report a 0.0 geomean as if it were data.
+    """
     if not values:
-        return 0.0
+        raise ValueError("geometric mean of an empty sequence")
     product = 1.0
     for v in values:
         if v <= 0:

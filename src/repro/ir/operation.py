@@ -51,6 +51,21 @@ def reset_operation_ids() -> None:
     _op_counter = itertools.count(1)
 
 
+def ensure_operation_ids_above(min_id: int) -> None:
+    """Advance the id counter so new operations get ids above ``min_id``.
+
+    Required before an op-creating pass (speculation, unrolling) runs
+    over a program whose operations were numbered by a *different*
+    counter state — unpickled from the result cache or shipped from
+    another process.  Without it a freshly created operation can collide
+    with an existing id and corrupt every id-keyed structure (dependence
+    graphs, schedules, value profiles).
+    """
+    global _op_counter
+    current = next(_op_counter)
+    _op_counter = itertools.count(max(current, min_id + 1))
+
+
 @dataclass(eq=False, slots=True)
 class Operation:
     """One IR operation.

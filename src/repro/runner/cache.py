@@ -1,0 +1,197 @@
+"""Content-addressed on-disk result store for pipeline jobs.
+
+Layout (``~/.cache/repro`` by default, overridable with ``--cache-dir``
+or ``$REPRO_CACHE_DIR``)::
+
+    <root>/v1/<key[:2]>/<key>.pkl     pickled stage result
+    <root>/v1/<key[:2]>/<key>.json    sidecar manifest (human-inspectable)
+
+The key is the job's content hash (:meth:`repro.runner.jobs.JobSpec.key`),
+which already folds in :data:`repro.runner.jobs.CODE_VERSION` — so code
+changes miss naturally.  :data:`FORMAT_VERSION` versions the *store
+layout* instead: a layout change moves to ``v2/`` and strands (rather
+than misreads) old entries.
+
+The cache is fault-tolerant by construction: writes go through a
+temporary file and an atomic ``os.replace``, and any unreadable or
+truncated entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Bump when the on-disk layout (not the result semantics) changes.
+FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Aggregate view of the store plus this process's hit/miss counters."""
+
+    root: str = ""
+    entries: int = 0
+    total_bytes: int = 0
+    by_stage: Dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "by_stage": dict(sorted(self.by_stage.items())),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cache root: {self.root}",
+            f"entries:    {self.entries} ({self.total_bytes / 1024:.1f} KiB)",
+        ]
+        for stage, count in sorted(self.by_stage.items()):
+            lines.append(f"  {stage:10s} {count}")
+        lines.append(f"session:    {self.hits} hits / {self.misses} misses")
+        return "\n".join(lines)
+
+
+class DiskCache:
+    """Durable pickle store addressed by job content hash.
+
+    ``enabled=False`` turns every lookup into a miss and every store into
+    a no-op, which lets callers thread one object through unconditionally
+    (the ``--no-cache`` path).
+    """
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True):
+        self.enabled = enabled
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def store(self) -> Path:
+        return self.root / f"v{FORMAT_VERSION}"
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        shard = self.store / key[:2]
+        return shard / f"{key}.pkl", shard / f"{key}.json"
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses."""
+        if not self.enabled:
+            self.misses += 1
+            return False, None
+        pkl, manifest = self._paths(key)
+        try:
+            with open(pkl, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, ValueError):
+            if pkl.exists():
+                # Corrupt or stale-unreadable entry: evict it.
+                for path in (pkl, manifest):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, manifest: Optional[Dict[str, Any]] = None) -> None:
+        if not self.enabled:
+            return
+        pkl, manifest_path = self._paths(key)
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        meta = {
+            "key": key,
+            "format_version": FORMAT_VERSION,
+            "created": time.time(),
+            "size_bytes": len(payload),
+            **(manifest or {}),
+        }
+        self._atomic_write(pkl, payload)
+        self._atomic_write(
+            manifest_path, (json.dumps(meta, indent=2) + "\n").encode("utf-8")
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> CacheStats:
+        stats = CacheStats(root=str(self.root), hits=self.hits, misses=self.misses)
+        if not self.store.is_dir():
+            return stats
+        for manifest_path in self.store.glob("*/*.json"):
+            pkl = manifest_path.with_suffix(".pkl")
+            if not pkl.exists():
+                continue
+            stats.entries += 1
+            stats.total_bytes += pkl.stat().st_size
+            try:
+                meta = json.loads(manifest_path.read_text())
+                stage = str(meta.get("stage", "unknown"))
+            except (OSError, json.JSONDecodeError):
+                stage = "unknown"
+            stats.by_stage[stage] = stats.by_stage.get(stage, 0) + 1
+        return stats
+
+    def clear(self) -> int:
+        """Delete every entry of the current format version; return the count."""
+        removed = 0
+        if not self.store.is_dir():
+            return removed
+        for pkl in self.store.glob("*/*.pkl"):
+            try:
+                pkl.unlink()
+                removed += 1
+            except OSError:
+                pass
+            sidecar = pkl.with_suffix(".json")
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        for shard in self.store.glob("*"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,409 @@
+"""Declarative job specifications for the experiment pipeline.
+
+A :class:`JobSpec` names one unit of work — one pipeline stage applied to
+one (benchmark, scale, machine, speculation-config) point — without
+executing it.  Its :meth:`~JobSpec.key` is a content hash over every
+input that can change the result, plus a code-version salt, so the key
+doubles as the address of the result in the on-disk cache
+(:mod:`repro.runner.cache`): identical settings hit, any changed knob
+misses, and bumping :data:`CODE_VERSION` invalidates everything at once.
+
+Stage semantics are looked up in a registry (:func:`register_stage`), so
+tests can inject synthetic stages (flaky, slow) and future pipelines can
+add stages without touching the executor.  The built-in stages mirror
+``Evaluation``:
+
+========== ================================ ============================
+stage      inputs                           produces
+========== ================================ ============================
+build      benchmark, scale                 ``Program``
+profile    build                            ``ProfileData``
+compile    build + profile + machine/config ``ProgramCompilation``
+simulate   compile (+ model_icache)         ``ProgramSimResult``
+========== ================================ ============================
+
+``build`` exists because operation ids are assigned from a process-local
+counter: profiles and compilations reference programs *by op id*, so all
+downstream stages must consume the one program object the build stage
+produced (shipped by pickle) rather than rebuilding it in whatever
+counter state their worker happens to be in.  The build stage resets the
+counter first, making the shipped program canonical.
+
+``build`` and ``profile`` deliberately exclude the speculation config
+from their keys: threshold and predictor ablations re-use the same
+profiling run, which is where most of the wall time goes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.speculation import SpeculationConfig
+from repro.machine.description import MachineDescription
+
+#: Bump whenever a pipeline stage's semantics change in a way that makes
+#: previously cached results wrong.  Part of every job key.
+CODE_VERSION = "2026.08.2"
+
+#: The built-in pipeline stages, in dependency order.
+PIPELINE_STAGES = ("build", "profile", "compile", "simulate")
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically.
+
+    Handles the types that appear in job specs: dataclasses, enums,
+    mappings (sorted by stringified key), sequences and primitives.
+    Floats go through ``repr`` so the hash sees full precision.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Mapping):
+        return {str(_canonical(k)): _canonical(v) for k, v in sorted(
+            value.items(), key=lambda kv: str(_canonical(kv[0]))
+        )}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for a job key")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One pipeline stage applied to one parameter point.
+
+    Attributes:
+        stage: registered stage name (``profile``/``compile``/``simulate``
+            or a test-injected stage).
+        benchmark: workload name from :data:`repro.workloads.BENCHMARKS`.
+        scale: workload size multiplier.
+        machine: target machine, or ``None`` for machine-independent
+            stages (profiling).
+        spec_config: speculation knobs, or ``None`` for stages upstream
+            of the speculation pass.
+        params: extra stage parameters as a sorted tuple of
+            ``(name, value)`` pairs — e.g. ``(("model_icache", True),)``.
+    """
+
+    stage: str
+    benchmark: str
+    scale: float = 1.0
+    machine: Optional[MachineDescription] = None
+    spec_config: Optional[SpeculationConfig] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def key(self) -> str:
+        """Content hash addressing this job's result in the disk cache."""
+        payload = json.dumps(
+            {
+                "code_version": CODE_VERSION,
+                "stage": self.stage,
+                "benchmark": self.benchmark,
+                "scale": repr(self.scale),
+                "machine": _canonical(self.machine),
+                "spec_config": _canonical(self.spec_config),
+                "params": _canonical(self.params),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable identifier, e.g. ``simulate:swim@playdoh-4w``."""
+        parts = [f"{self.stage}:{self.benchmark}"]
+        if self.machine is not None:
+            parts.append(f"@{self.machine.name}")
+        flags = [
+            name if value is True else f"{name}={value}"
+            for name, value in self.params
+            if value not in (False, None)
+        ]
+        if flags:
+            parts.append("[" + ",".join(flags) + "]")
+        return "".join(parts)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class Job:
+    """A :class:`JobSpec` plus the specs whose results it consumes."""
+
+    spec: JobSpec
+    deps: Tuple[JobSpec, ...] = ()
+
+    def key(self) -> str:
+        return self.spec.key()
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+
+# -- stage registry ----------------------------------------------------------
+
+#: stage name -> fn(spec, dep_results: Dict[key, Any]) -> result
+StageFn = Callable[[JobSpec, Dict[str, Any]], Any]
+
+_STAGES: Dict[str, StageFn] = {}
+
+
+def register_stage(name: str, fn: StageFn) -> None:
+    """Register (or override) the implementation of a stage.
+
+    Worker processes inherit the registry through ``fork``; under a
+    ``spawn`` start method injected stages must be registered at import
+    time of the module that defines them.
+    """
+    _STAGES[name] = fn
+
+
+def stage_function(name: str) -> StageFn:
+    try:
+        return _STAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered: {sorted(_STAGES)}"
+        ) from None
+
+
+def execute_spec(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    """Run one job body.  This is the function worker processes execute."""
+    return stage_function(spec.stage)(spec, dep_results)
+
+
+def dep_result(spec: JobSpec, dep_results: Dict[str, Any], stage: str) -> Any:
+    """Fetch the dependency result produced by ``stage`` for ``spec``.
+
+    Dependency results are keyed by content hash; the expected specs are
+    re-derived from :func:`default_deps`, which is the same closure the
+    graph materialises, so lookup is exact.
+    """
+    for dep in default_deps(spec):
+        if dep.stage == stage and dep.key() in dep_results:
+            return dep_results[dep.key()]
+    raise RuntimeError(f"{spec.job_id}: missing {stage} dependency result")
+
+
+def adopt_program(program: Any) -> Any:
+    """Make a program numbered elsewhere safe for op-creating passes here.
+
+    A program that arrived by pickle (cache hit, worker hand-off) carries
+    op ids from a foreign counter state; the local counter may sit *below*
+    its maximum — notably after an in-process ``build`` of a smaller
+    benchmark reset it.  Bump the counter past the program's ids so the
+    speculation pass and the unroller cannot mint colliding ids.
+    """
+    from repro.ir.operation import ensure_operation_ids_above
+
+    max_id = max(
+        (
+            op.op_id
+            for function in program
+            for block in function
+            for op in block.operations
+        ),
+        default=0,
+    )
+    ensure_operation_ids_above(max_id)
+    return program
+
+
+def _run_build(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.ir.operation import reset_operation_ids
+    from repro.workloads.suite import load_benchmark
+
+    # Canonical ids: every build of (benchmark, scale) numbers its
+    # operations identically, wherever it runs.
+    reset_operation_ids()
+    return load_benchmark(spec.benchmark, scale=spec.scale)
+
+
+def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.profiling.profile_run import profile_program
+
+    program = dep_result(spec, dep_results, "build")
+    return profile_program(
+        program, profile_alu=bool(spec.param("profile_alu", False))
+    )
+
+
+def _run_compile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.core.metrics import compile_program
+
+    if spec.machine is None:
+        raise ValueError(f"{spec.job_id}: compile jobs need a machine")
+    program = adopt_program(dep_result(spec, dep_results, "build"))
+    profile = dep_result(spec, dep_results, "profile")
+    return compile_program(
+        program, spec.machine, profile, config=spec.spec_config
+    )
+
+
+def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.core.program_sim import simulate_program
+
+    compilation = dep_result(spec, dep_results, "compile")
+    return simulate_program(
+        compilation, model_icache=bool(spec.param("model_icache", False))
+    )
+
+
+register_stage("build", _run_build)
+register_stage("profile", _run_profile)
+register_stage("compile", _run_compile)
+register_stage("simulate", _run_simulate)
+
+
+# -- spec/job constructors ---------------------------------------------------
+
+def build_spec(benchmark: str, scale: float = 1.0) -> JobSpec:
+    return JobSpec("build", benchmark, scale=scale)
+
+
+def profile_spec(
+    benchmark: str, scale: float = 1.0, profile_alu: bool = False
+) -> JobSpec:
+    params = (("profile_alu", True),) if profile_alu else ()
+    return JobSpec("profile", benchmark, scale=scale, params=params)
+
+
+def compile_spec(
+    benchmark: str,
+    machine: MachineDescription,
+    scale: float = 1.0,
+    spec_config: Optional[SpeculationConfig] = None,
+    profile_alu: bool = False,
+) -> JobSpec:
+    config = spec_config or SpeculationConfig()
+    params = (("profile_alu", True),) if profile_alu else ()
+    return JobSpec(
+        "compile", benchmark, scale=scale, machine=machine,
+        spec_config=config, params=params,
+    )
+
+
+def simulate_spec(
+    benchmark: str,
+    machine: MachineDescription,
+    scale: float = 1.0,
+    spec_config: Optional[SpeculationConfig] = None,
+    model_icache: bool = False,
+    profile_alu: bool = False,
+) -> JobSpec:
+    config = spec_config or SpeculationConfig()
+    params: Tuple[Tuple[str, Any], ...] = ()
+    if model_icache:
+        params += (("model_icache", True),)
+    if profile_alu:
+        params += (("profile_alu", True),)
+    return JobSpec(
+        "simulate", benchmark, scale=scale, machine=machine,
+        spec_config=config, params=params,
+    )
+
+
+def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
+    """The natural upstream specs of a built-in pipeline stage.
+
+    Used both by the job constructors and by the graph when it has to
+    materialise a dependency that was only named, never constructed.
+    Injected test stages have no implicit dependencies.
+    """
+    profile_alu = bool(spec.param("profile_alu", False))
+    if spec.stage == "profile":
+        return (build_spec(spec.benchmark, spec.scale),)
+    if spec.stage == "compile":
+        return (
+            build_spec(spec.benchmark, spec.scale),
+            profile_spec(spec.benchmark, spec.scale, profile_alu),
+        )
+    if spec.stage == "simulate":
+        if spec.machine is None:
+            raise ValueError(f"{spec.job_id}: simulate jobs need a machine")
+        return (
+            compile_spec(
+                spec.benchmark, spec.machine, spec.scale,
+                spec.spec_config, profile_alu,
+            ),
+        )
+    return ()
+
+
+def job_for(spec: JobSpec) -> Job:
+    """Wrap ``spec`` as a :class:`Job` with its natural dependencies."""
+    return Job(spec, deps=default_deps(spec))
+
+
+def build_job(benchmark: str, scale: float = 1.0) -> Job:
+    return job_for(build_spec(benchmark, scale))
+
+
+def profile_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:
+    return job_for(profile_spec(benchmark, scale, **kw))
+
+
+def compile_job(
+    benchmark: str, machine: MachineDescription, scale: float = 1.0, **kw: Any
+) -> Job:
+    return job_for(compile_spec(benchmark, machine, scale, **kw))
+
+
+def simulate_job(
+    benchmark: str, machine: MachineDescription, scale: float = 1.0, **kw: Any
+) -> Job:
+    return job_for(simulate_spec(benchmark, machine, scale, **kw))
+
+
+def pipeline_jobs(
+    benchmarks: Sequence[str],
+    machines: Sequence[MachineDescription],
+    scale: float = 1.0,
+    spec_config: Optional[SpeculationConfig] = None,
+    simulate_variants: Sequence[bool] = (False,),
+) -> Tuple[Job, ...]:
+    """The full profile -> compile -> simulate graph for a sweep.
+
+    ``simulate_variants`` lists the ``model_icache`` settings to simulate
+    per (benchmark, machine) point.
+    """
+    out = []
+    for benchmark in benchmarks:
+        out.append(profile_job(benchmark, scale))
+        for machine in machines:
+            out.append(
+                compile_job(benchmark, machine, scale, spec_config=spec_config)
+            )
+            for model_icache in simulate_variants:
+                out.append(
+                    simulate_job(
+                        benchmark,
+                        machine,
+                        scale,
+                        spec_config=spec_config,
+                        model_icache=model_icache,
+                    )
+                )
+    return tuple(out)

@@ -7,6 +7,7 @@ from repro.workloads.suite import (
     benchmark_names,
     load_benchmark,
     load_suite,
+    resolve_benchmarks,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "benchmark_names",
     "load_benchmark",
     "load_suite",
+    "resolve_benchmarks",
 ]

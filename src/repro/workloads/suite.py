@@ -7,7 +7,7 @@ tomcatv).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ir.program import Program
 from repro.workloads import (
@@ -41,6 +41,26 @@ FP_BENCHMARKS: List[str] = ["hydro2d", "swim", "tomcatv"]
 
 def benchmark_names() -> List[str]:
     return list(BENCHMARKS)
+
+
+def resolve_benchmarks(names: Sequence[str]) -> Tuple[str, ...]:
+    """Validate a user-supplied benchmark selection.
+
+    Accepts names in any order (order is preserved), rejects unknown
+    names and duplicates with a ``ValueError`` that lists the registry.
+    """
+    seen: List[str] = []
+    for name in names:
+        if name not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {name!r}; available: {benchmark_names()}"
+            )
+        if name in seen:
+            raise ValueError(f"benchmark {name!r} given more than once")
+        seen.append(name)
+    if not seen:
+        raise ValueError("benchmark selection is empty")
+    return tuple(seen)
 
 
 def load_benchmark(name: str, scale: float = 1.0) -> Program:

@@ -33,3 +33,70 @@ class TestJsonOutput:
         with pytest.raises(json.JSONDecodeError):
             json.loads(out)
         assert "Table 3" in out
+
+
+class TestRunnerFlags:
+    def test_benchmarks_filter(self, capsys, tmp_path):
+        assert (
+            main(
+                ["table2", "--scale", "0.2", "--json",
+                 "--benchmarks", "swim,li", "--cache-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["benchmark"] for row in rows] == ["swim", "li"]
+
+    def test_unknown_benchmark_is_an_error(self, capsys, tmp_path):
+        assert (
+            main(["table2", "--benchmarks", "nosuch",
+                  "--cache-dir", str(tmp_path)])
+            == 2
+        )
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_jobs_and_events_flags(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert (
+            main(
+                ["table3", "--scale", "0.2", "--json", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--events", str(events), "--benchmarks", "compress"]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        assert any(e["event"] == "job_finish" for e in lines)
+
+    def test_no_cache_leaves_cache_dir_empty(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                ["table3", "--scale", "0.2", "--json", "--no-cache",
+                 "--cache-dir", str(cache), "--benchmarks", "compress"]
+            )
+            == 0
+        )
+        assert not list(cache.glob("**/*.pkl"))
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert (
+            main(["table3", "--scale", "0.2", "--json",
+                  "--cache-dir", str(cache), "--benchmarks", "compress"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3  # build + profile + compile
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_unknown_cache_command(self, capsys, tmp_path):
+        assert main(["cache", "bogus", "--cache-dir", str(tmp_path)]) == 2
+        assert "unknown cache command" in capsys.readouterr().err

@@ -48,6 +48,9 @@ class TestEvaluationCache:
         assert arithmetic_mean([]) == 0.0
         with pytest.raises(ValueError):
             geometric_mean([0.0, 1.0])
+        # An empty input must raise, not report 0.0 as if it were data.
+        with pytest.raises(ValueError):
+            geometric_mean([])
 
 
 class TestTable2(object):

@@ -1,15 +1,20 @@
 """Developer harness: per-benchmark metrics at both widths.
 
-Run:  python tools/tune_suite.py [bench ...]
+Runs through :mod:`repro.runner`, so repeated invocations while tuning a
+single benchmark serve the untouched stages from the disk cache and
+``--jobs N`` spreads cold pipelines over worker processes.
+
+Run:  python tools/tune_suite.py [bench ...] [--jobs N] [--scale S]
+                                 [--cache-dir DIR | --no-cache]
 """
 
-import sys
+import argparse
 import time
 
+from repro.core import OutcomeClass
 from repro.machine import PLAYDOH_4W, PLAYDOH_8W
-from repro.profiling import profile_program
-from repro.core import compile_program, simulate_program, OutcomeClass
-from repro.workloads import BENCHMARKS, load_benchmark
+from repro.runner import DiskCache, Runner, compile_job, simulate_job
+from repro.workloads import BENCHMARKS
 
 # Paper Table 4 best-case targets: (ex-time fraction, schedule fraction @4w, schedule fraction @8w)
 TARGETS = {
@@ -24,31 +29,50 @@ TARGETS = {
 }
 
 
-def main(names):
+def main(names, scale=1.0, runner=None):
+    owns_runner = runner is None
+    if owns_runner:
+        runner = Runner(jobs=1)
     t0 = time.time()
     print(f"{'bench':9s} | target tf/len | 4w: tf_ac len_b len_w np | 8w: tf_ac len_b len_w np | acc")
-    for name in names:
-        prog = load_benchmark(name)
-        profile = profile_program(prog)
-        t_tf, t_len = TARGETS[name]
-        row = f"{name:9s} |  {t_tf:.2f} {t_len:.2f}   |"
-        acc = 0.0
-        for m in (PLAYDOH_4W, PLAYDOH_8W):
-            comp = compile_program(prog, m, profile)
-            res = simulate_program(comp)
-            npred = sum(
-                len(comp.block(l).predicted_load_ids) for l in comp.speculated_labels
-            )
-            row += (
-                f"  {res.time_fraction(OutcomeClass.ALL_CORRECT):.2f}"
-                f" {comp.weighted_length_fraction(True):.2f}"
-                f" {comp.weighted_length_fraction(False):.2f} {npred} |"
-            )
-            acc = res.prediction_accuracy
-        print(row + f" {acc:.2f}")
+    try:
+        for name in names:
+            t_tf, t_len = TARGETS[name]
+            row = f"{name:9s} |  {t_tf:.2f} {t_len:.2f}   |"
+            acc = 0.0
+            for m in (PLAYDOH_4W, PLAYDOH_8W):
+                comp = runner.run_job(compile_job(name, m, scale=scale))
+                res = runner.run_job(simulate_job(name, m, scale=scale))
+                npred = sum(
+                    len(comp.block(l).predicted_load_ids)
+                    for l in comp.speculated_labels
+                )
+                row += (
+                    f"  {res.time_fraction(OutcomeClass.ALL_CORRECT):.2f}"
+                    f" {comp.weighted_length_fraction(True):.2f}"
+                    f" {comp.weighted_length_fraction(False):.2f} {npred} |"
+                )
+                acc = res.prediction_accuracy
+            print(row + f" {acc:.2f}")
+    finally:
+        if owns_runner:
+            runner.close()
     print(f"[{time.time()-t0:.1f}s]")
 
 
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmarks", nargs="*", default=list(BENCHMARKS))
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    names = sys.argv[1:] or list(BENCHMARKS)
-    main(names)
+    args = _parse_args()
+    cache = DiskCache(root=args.cache_dir, enabled=not args.no_cache)
+    with Runner(jobs=args.jobs, cache=cache) as job_runner:
+        main(args.benchmarks, scale=args.scale, runner=job_runner)
