@@ -17,15 +17,15 @@ architectural interpreter; here only availability times matter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.ir.operation import Operation
 from repro.machine.description import MachineDescription
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import ExecuteEvent, FlushEvent, TraceSink
 from repro.core.ccb import CCBEntry, CompensationCodeBuffer, OperandSource, SourceKind
 from repro.core.ovb import OperandState, OperandValueBuffer
 from repro.core.sync_register import SyncRegisterState
-
-TraceFn = Callable[[int, str], None]
 
 
 @dataclass
@@ -50,7 +50,8 @@ class CompensationEngine:
         ovb: OperandValueBuffer,
         sync: SyncRegisterState,
         buffer: Optional[CompensationCodeBuffer] = None,
-        trace: Optional[TraceFn] = None,
+        trace: Optional[TraceSink] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.machine = machine
         self.ovb = ovb
@@ -59,12 +60,14 @@ class CompensationEngine:
         self.stats = CCEngineStats()
         self._free_time = 0
         self._trace = trace
+        self._metrics = metrics
 
     # -- VLIW-engine interface ------------------------------------------------
 
     def insert(self, entry: CCBEntry) -> None:
         """Buffer a decoded speculated operation (sent at VLIW issue)."""
         self.buffer.insert(entry)
+        self._metrics.observe("cce.ccb_occupancy", self.buffer.pending)
 
     def process_available(self) -> None:
         """Advance the pipeline as far as verification outcomes allow.
@@ -96,13 +99,18 @@ class CompensationEngine:
             self._free_time = start + 1
             self.stats.flushed += 1
             self.stats.busy_cycles += 1
+            self._metrics.inc("cce.flush")
+            self._metrics.inc("cce.busy_cycles")
             if record.state is not OperandState.C:
                 self.ovb.resolve_speculated_correct(entry.op_id, decide_time)
             # The check op already cleared the bit at decide_time; the
             # call is idempotent and keeps the earliest clear time.
             self.sync.clear_bit(entry.sync_bit, decide_time)
             self.stats.events.append((start, "flush", entry.op_id, start + 1))
-            self._emit(start, f"flush op{entry.op_id}")
+            if self._trace is not None:
+                self._trace.emit(
+                    FlushEvent(cycle=start, op_id=entry.op_id, completion=start + 1)
+                )
             return
 
         # Some origin was mispredicted: re-execute with correct operands.
@@ -119,6 +127,8 @@ class CompensationEngine:
         self._free_time = start + 1  # pipelined single issue
         self.stats.executed += 1
         self.stats.busy_cycles += latency
+        self._metrics.inc("cce.reexec")
+        self._metrics.inc("cce.busy_cycles", latency)
         self.stats.last_exec_completion = max(
             self.stats.last_exec_completion, completion
         )
@@ -126,7 +136,10 @@ class CompensationEngine:
         self.ovb.record_recomputed(entry.op_id, completion)
         self.sync.clear_bit(entry.sync_bit, completion)
         self.stats.events.append((start, "execute", entry.op_id, completion))
-        self._emit(start, f"execute op{entry.op_id} -> done @{completion}")
+        if self._trace is not None:
+            self._trace.emit(
+                ExecuteEvent(cycle=start, op_id=entry.op_id, completion=completion)
+            )
 
     def _source_ready(self, entry: CCBEntry, source: OperandSource) -> int:
         if source.kind is SourceKind.SHIPPED:
@@ -161,10 +174,6 @@ class CompensationEngine:
                 f"CCB head op{blocked.op_id} blocked after VLIW completion; "
                 f"origins {sorted(blocked.origins)} unresolved"
             )
-
-    def _emit(self, time: int, message: str) -> None:
-        if self._trace is not None:
-            self._trace(time, f"CCE: {message}")
 
 
 class SimulationDeadlock(RuntimeError):

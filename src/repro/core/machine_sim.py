@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import TraceEvent, TraceSink
 from repro.core.cc_engine import CCEngineStats, CompensationEngine
 from repro.core.ccb import CompensationCodeBuffer
 from repro.core.ovb import OperandValueBuffer
@@ -36,7 +38,9 @@ class BlockRun:
     mispredictions: int
     flushed: int
     executed: int
-    trace: Tuple[Tuple[int, str], ...] = ()
+    #: Typed structured trace events (see :mod:`repro.obs.trace`), sorted
+    #: by cycle; populated when collect_trace is set.
+    trace: Tuple[TraceEvent, ...] = ()
     #: (op id, issue cycle) pairs; populated when collect_trace is set.
     issue_times: Tuple[Tuple[int, int], ...] = ()
     #: (slot cycle, "flush"|"execute", op id, completion) CCE activity;
@@ -64,28 +68,36 @@ def simulate_block(
     outcomes: Mapping[int, bool],
     collect_trace: bool = False,
     ccb_capacity: Optional[int] = None,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> BlockRun:
     """Simulate one dynamic instance of a speculative block.
 
     Args:
         spec_schedule: the statically scheduled transformed block.
         outcomes: per-``LdPred`` op id, whether the prediction was correct.
-        collect_trace: record an event log (used by the worked example).
+        collect_trace: record typed trace events (used by the worked
+            example, the timeline renderer and the Perfetto exporter).
         ccb_capacity: bound the Compensation Code Buffer (None = unbounded).
+        metrics: registry receiving the run's counters and histograms
+            (``vliw.stall_cycles``, ``cce.flush``, ``cce.reexec``,
+            ``ovb.state_transitions{...}``, ...); the default disabled
+            registry costs one branch per site.
     """
-    events: List[Tuple[int, str]] = []
+    sink: Optional[TraceSink] = TraceSink() if collect_trace else None
 
-    def emit(time: int, message: str) -> None:
-        events.append((time, message))
-
-    ovb = OperandValueBuffer()
-    sync = SyncRegisterState(width=max(64, spec_schedule.spec.sync_bits_used))
+    ovb = OperandValueBuffer(trace=sink, metrics=metrics)
+    sync = SyncRegisterState(
+        width=max(64, spec_schedule.spec.sync_bits_used),
+        trace=sink,
+        metrics=metrics,
+    )
     cc = CompensationEngine(
         machine=spec_schedule.schedule.machine,
         ovb=ovb,
         sync=sync,
         buffer=CompensationCodeBuffer(capacity=ccb_capacity),
-        trace=emit if collect_trace else None,
+        trace=sink,
+        metrics=metrics,
     )
     vliw = VLIWEngineSim(
         spec_schedule,
@@ -93,7 +105,8 @@ def simulate_block(
         ovb=ovb,
         sync=sync,
         cc=cc,
-        trace=emit if collect_trace else None,
+        trace=sink,
+        metrics=metrics,
     )
 
     stats: VLIWRunStats = vliw.run()
@@ -118,7 +131,7 @@ def simulate_block(
         mispredictions=stats.mispredictions,
         flushed=cc_stats.flushed,
         executed=cc_stats.executed,
-        trace=tuple(sorted(events)) if collect_trace else (),
+        trace=tuple(sink.sorted()) if sink is not None else (),
         issue_times=(
             tuple(sorted(stats.issue_times.items())) if collect_trace else ()
         ),

@@ -17,6 +17,7 @@ from repro.ir.function import Function
 from repro.ir.liveness import compute_liveness
 from repro.ir.program import Program
 from repro.machine.description import MachineDescription
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.profiling.profile_run import ProfileData
 from repro.sched.list_scheduler import ListScheduler
 from repro.core.baseline import BaselineBlock, build_baseline_block
@@ -35,6 +36,15 @@ class OutcomeClass(enum.Enum):
 
 
 def classify_outcome(predictions: int, mispredictions: int) -> OutcomeClass:
+    if predictions < 0 or mispredictions < 0:
+        raise ValueError(
+            f"negative prediction counts: predictions={predictions}, "
+            f"mispredictions={mispredictions}"
+        )
+    if mispredictions > predictions:
+        raise ValueError(
+            f"mispredictions ({mispredictions}) exceed predictions ({predictions})"
+        )
     if predictions == 0:
         return OutcomeClass.NOT_SPECULATED
     if mispredictions == 0:
@@ -53,15 +63,19 @@ class BlockCompilation:
     spec_schedule: Optional[SpeculativeSchedule] = None
     baseline: Optional[BaselineBlock] = None
     _pattern_cache: Dict[Tuple[bool, ...], BlockRun] = field(default_factory=dict)
+    _metrics_cache: Dict[Tuple[bool, ...], MetricsSnapshot] = field(
+        default_factory=dict
+    )
 
     def __getstate__(self) -> Dict:
-        # The pattern cache is a pure memo of simulate_block results; it
-        # is dropped on pickling so a serialised compilation is canonical
-        # (independent of which patterns happened to be timed first) and
-        # the runner's on-disk artifacts stay small.  It is rebuilt on
-        # demand after unpickling.
+        # The pattern caches are pure memos of simulate_block results;
+        # they are dropped on pickling so a serialised compilation is
+        # canonical (independent of which patterns happened to be timed
+        # first) and the runner's on-disk artifacts stay small.  They are
+        # rebuilt on demand after unpickling.
         state = self.__dict__.copy()
         state["_pattern_cache"] = {}
+        state["_metrics_cache"] = {}
         return state
 
     @property
@@ -103,6 +117,32 @@ class BlockCompilation:
         n = len(self.predicted_load_ids)
         return self.run_for((False,) * n)
 
+    def metrics_for(self, pattern: Tuple[bool, ...]) -> MetricsSnapshot:
+        """Dual-engine metrics for one correctness pattern (memoised).
+
+        Metrics are collected lazily, per distinct pattern, so bulk
+        simulation without observability pays nothing; a metrics-enabled
+        run of the same pattern is deterministic, so the timing result
+        doubles as a ``run_for`` memo entry.
+        """
+        if self.spec_schedule is None:
+            raise RuntimeError(f"block {self.label!r} was not speculated")
+        cached = self._metrics_cache.get(pattern)
+        if cached is None:
+            ldpreds = self.spec_schedule.spec.ldpred_ids
+            if len(pattern) != len(ldpreds):
+                raise ValueError(
+                    f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
+                )
+            registry = MetricsRegistry()
+            run = simulate_block(
+                self.spec_schedule, dict(zip(ldpreds, pattern)), metrics=registry
+            )
+            cached = registry.snapshot()
+            self._metrics_cache[pattern] = cached
+            self._pattern_cache.setdefault(pattern, run)
+        return cached
+
 
 @dataclass
 class ProgramCompilation:
@@ -142,6 +182,28 @@ class ProgramCompilation:
             num += weight * run.effective_length
             den += weight * comp.original_length
         return num / den if den else 1.0
+
+    def metrics_snapshot(self, best: bool = True) -> MetricsSnapshot:
+        """Static, frequency-weighted metrics over speculated blocks.
+
+        Each block's per-pattern metrics (all predictions correct for
+        ``best=True``, all incorrect otherwise) are scaled by its
+        profiled execution count and merged — the observability analogue
+        of :meth:`weighted_length_fraction`.  The dynamic simulation
+        (:func:`repro.core.program_sim.simulate_program` with
+        ``collect_metrics=True``) aggregates the same per-block
+        snapshots under real predictor outcomes instead.
+        """
+        total = MetricsSnapshot.empty()
+        for label, comp in self.blocks.items():
+            if not comp.speculated:
+                continue
+            weight = self.profile.blocks.count(label)
+            if weight == 0:
+                continue
+            pattern = (best,) * len(comp.predicted_load_ids)
+            total = total.merged(comp.metrics_for(pattern).scaled(weight))
+        return total
 
 
 def compile_program(

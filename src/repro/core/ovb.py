@@ -35,6 +35,9 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import OvbTransitionEvent, TraceSink
+
 
 class OperandKind(enum.Enum):
     """How a value was computed (paper Table 1)."""
@@ -75,10 +78,23 @@ class OperandValueBuffer:
     simulation; a capacity-limited variant would stall VLIW issue, which
     the ablation benchmarks can emulate by bounding speculation)."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        trace: Optional[TraceSink] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
         self._records: Dict[int, ValueRecord] = {}
         self.inserts = 0
         self.updates = 0
+        self._trace = trace
+        self._metrics = metrics
+
+    def _transition(self, op_id: int, state: OperandState, time: int) -> None:
+        self._metrics.inc("ovb.state_transitions", label=state.name)
+        if self._trace is not None:
+            self._trace.emit(
+                OvbTransitionEvent(cycle=time, op_id=op_id, state=state.name)
+            )
 
     # -- insertion (VLIW engine side) ------------------------------------
 
@@ -92,6 +108,9 @@ class OperandValueBuffer:
         )
         self._records[ldpred_id] = record
         self.inserts += 1
+        self._metrics.inc("ovb.inserts")
+        self._metrics.set_gauge("ovb.size", len(self._records))
+        self._transition(ldpred_id, OperandState.PN, available_at)
         return record
 
     def record_speculated(
@@ -106,6 +125,9 @@ class OperandValueBuffer:
         )
         self._records[op_id] = record
         self.inserts += 1
+        self._metrics.inc("ovb.inserts")
+        self._metrics.set_gauge("ovb.size", len(self._records))
+        self._transition(op_id, OperandState.RN, available_at)
         return record
 
     # -- verification updates ----------------------------------------------
@@ -123,6 +145,7 @@ class OperandValueBuffer:
         record.resolved_at = time
         record.correct_value_at = record.available_at if correct else time
         self.updates += 1
+        self._transition(ldpred_id, record.state, time)
         return record
 
     def resolve_speculated_correct(self, op_id: int, time: int) -> ValueRecord:
@@ -133,6 +156,7 @@ class OperandValueBuffer:
         record.resolved_at = time
         record.correct_value_at = max(record.available_at, time)
         self.updates += 1
+        self._transition(op_id, OperandState.C, time)
         return record
 
     def mark_needs_recompute(self, op_id: int, time: int) -> ValueRecord:
@@ -141,6 +165,7 @@ class OperandValueBuffer:
         record.state = OperandState.R
         record.resolved_at = time
         self.updates += 1
+        self._transition(op_id, OperandState.R, time)
         return record
 
     def record_recomputed(self, op_id: int, completion: int) -> ValueRecord:

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir.block import BasicBlock
 from repro.ir.operation import Operation
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, NULL_METRICS
 from repro.predict.base import ValuePredictor, _values_equal
 from repro.predict.confidence import ConfidenceEstimator
 from repro.predict.hybrid import default_hybrid
@@ -85,6 +86,9 @@ class ProgramSimResult:
     # ``confidence`` option), and value-prediction-table tag misses.
     gated_instances: int = 0
     table_tag_misses: int = 0
+    #: Aggregated observability snapshot; populated only when
+    #: ``simulate_program`` ran with ``collect_metrics=True``.
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def speedup_proposed(self) -> float:
@@ -143,6 +147,7 @@ class _SimulationObserver:
         icache_config: Optional[ICacheConfig],
         table: Optional[ValuePredictionTable] = None,
         confidence: Optional[ConfidenceEstimator] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.compilation = compilation
         self.predictor = predictor
@@ -150,6 +155,10 @@ class _SimulationObserver:
         self.machine = compilation.machine
         self.table = table
         self.confidence = confidence
+        self.metrics = metrics
+        self._predictor_label = (
+            f"table:{predictor.name}" if table is not None else predictor.name
+        )
 
         self._current: Optional[BlockCompilation] = None
         self._predicted_ids: frozenset = frozenset()
@@ -216,6 +225,15 @@ class _SimulationObserver:
             prediction = self.predictor.predict(op.op_id)
         correct = prediction is not None and _values_equal(prediction, result)
         self._outcomes[op.op_id] = correct
+        if self.metrics.enabled:
+            self.metrics.inc(
+                "predict.hit" if correct else "predict.miss",
+                label=self._predictor_label,
+            )
+            if prediction is None:
+                self.metrics.inc(
+                    "predict.no_prediction", label=self._predictor_label
+                )
         if self.table is not None:
             self.table.train(op.op_id, result)
         else:
@@ -281,6 +299,11 @@ class _SimulationObserver:
             self._outcomes.get(load_id, False) for load_id in comp.predicted_load_ids
         )
         run = comp.run_for(pattern)
+        if self.metrics.enabled:
+            # One merge per dynamic instance: identical instances share
+            # the memoised per-pattern snapshot, so counters sum exactly
+            # as the instance-level stats below do.
+            self.metrics.merge_snapshot(comp.metrics_for(pattern))
         res.cycles_proposed += run.effective_length
         res.predictions += run.predictions
         res.mispredictions += run.mispredictions
@@ -339,6 +362,7 @@ def simulate_program(
     max_operations: int = 5_000_000,
     table_capacity: Optional[int] = None,
     confidence: Optional[ConfidenceEstimator] = None,
+    collect_metrics: bool = False,
 ) -> ProgramSimResult:
     """Execute the program once, timing all three machines.
 
@@ -357,11 +381,16 @@ def simulate_program(
             when a block's predicted loads are not all confident, the
             instance runs the plain (non-speculative) version of the
             block — the classic dual-version gating extension.
+        collect_metrics: aggregate an observability snapshot (predictor
+            hit/miss counters, merged per-block dual-engine metrics,
+            icache counters) into ``result.metrics``.  Off by default;
+            timing results are identical either way.
     """
     result = ProgramSimResult(
         program_name=compilation.program.name,
         machine_name=compilation.machine.name,
     )
+    registry = MetricsRegistry() if collect_metrics else NULL_METRICS
     base_predictor = predictor if predictor is not None else default_hybrid()
     table = (
         ValuePredictionTable(base_predictor, capacity=table_capacity)
@@ -376,6 +405,7 @@ def simulate_program(
         icache_config=icache_config,
         table=table,
         confidence=confidence,
+        metrics=registry,
     )
     Interpreter(max_operations=max_operations).run(
         compilation.program, observers=[observer]
@@ -383,4 +413,21 @@ def simulate_program(
     observer.finish()
     if table is not None:
         result.table_tag_misses = table.tag_misses
+    if registry.enabled:
+        registry.inc("sim.dynamic_blocks", result.dynamic_blocks)
+        registry.inc("sim.gated_instances", result.gated_instances)
+        if model_icache:
+            registry.inc(
+                "icache.access", observer.cache_proposed.accesses, label="proposed"
+            )
+            registry.inc(
+                "icache.miss", observer.cache_proposed.misses, label="proposed"
+            )
+            registry.inc(
+                "icache.access", observer.cache_baseline.accesses, label="baseline"
+            )
+            registry.inc(
+                "icache.miss", observer.cache_baseline.misses, label="baseline"
+            )
+        result.metrics = registry.snapshot()
     return result

@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import SyncClearEvent, SyncSetEvent, TraceSink
+
 
 class SyncRegisterOverflow(RuntimeError):
     """A block needs more predicted-value bits than the register has."""
@@ -60,15 +63,25 @@ class SyncBitAllocator:
 class SyncRegisterState:
     """Run-time bit state with set/clear timestamps (simulator side)."""
 
-    def __init__(self, width: int = 64):
+    def __init__(
+        self,
+        width: int = 64,
+        trace: Optional[TraceSink] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ):
         self.width = width
         self._set_at: Dict[int, int] = {}
         self._cleared_at: Dict[int, int] = {}
+        self._trace = trace
+        self._metrics = metrics
 
     def set_bit(self, bit: int, time: int) -> None:
         self._check(bit)
         self._set_at[bit] = time
         self._cleared_at.pop(bit, None)
+        self._metrics.inc("sync.sets")
+        if self._trace is not None:
+            self._trace.emit(SyncSetEvent(cycle=time, bit=bit))
 
     def clear_bit(self, bit: int, time: int) -> None:
         """Record the bit clearing; idempotent, keeping the earliest time.
@@ -86,6 +99,9 @@ class SyncRegisterState:
         if prior is not None and prior <= time:
             return
         self._cleared_at[bit] = time
+        self._metrics.inc("sync.clears")
+        if self._trace is not None:
+            self._trace.emit(SyncClearEvent(cycle=time, bit=bit))
 
     def clear_time(self, bit: int) -> Optional[int]:
         """Time the bit cleared, or ``None`` while still pending."""

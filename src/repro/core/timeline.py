@@ -13,6 +13,13 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.ir.printer import format_table
+from repro.obs.trace import (
+    BitClearEvent,
+    CheckEvent,
+    ExecuteEvent,
+    FlushEvent,
+    StallEvent,
+)
 from repro.core.isa_ext import OpForm
 from repro.core.machine_sim import BlockRun
 from repro.core.specsched import SpeculativeSchedule
@@ -60,19 +67,21 @@ def render_timeline(spec_schedule: SpeculativeSchedule, run: BlockRun) -> str:
     for op_id, cycle in run.issue_times:
         issued_at.setdefault(cycle, []).append(op_id)
 
+    # The CCE column shows pipeline activity; the events column shows
+    # verification verdicts and stalls.  Both come from the typed trace
+    # (no string matching): flush/execute events drive the CCE column,
+    # stall/check/bit-clear events the notes.
     cce_at: Dict[int, List[str]] = {}
-    for start, kind, op_id, completion in run.cc_events:
-        if kind == "execute":
-            cce_at.setdefault(start, []).append(f"execute op{op_id} (done @{completion})")
-        else:
-            cce_at.setdefault(start, []).append(f"flush op{op_id}")
-
     notes_at: Dict[int, List[str]] = {}
-    for time, message in run.trace:
-        if "check" in message or "stall" in message:
-            notes_at.setdefault(time, []).append(
-                message.replace("VLIW: ", "").replace("CCE: ", "")
+    for event in run.trace:
+        if isinstance(event, ExecuteEvent):
+            cce_at.setdefault(event.cycle, []).append(
+                f"execute op{event.op_id} (done @{event.completion})"
             )
+        elif isinstance(event, FlushEvent):
+            cce_at.setdefault(event.cycle, []).append(f"flush op{event.op_id}")
+        elif isinstance(event, (StallEvent, CheckEvent, BitClearEvent)):
+            notes_at.setdefault(event.cycle, []).append(event.describe())
 
     last_cycle = max(
         [run.effective_length]

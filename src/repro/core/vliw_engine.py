@@ -25,17 +25,24 @@ Per-operation behaviour at issue:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
+from typing import Dict, FrozenSet, List, Mapping, Optional
 
 from repro.machine.description import MachineDescription
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import (
+    BitClearEvent,
+    CheckEvent,
+    LdPredEvent,
+    SpeculateEvent,
+    StallEvent,
+    TraceSink,
+)
 from repro.core.cc_engine import CompensationEngine, SimulationDeadlock
 from repro.core.ccb import CCBEntry
 from repro.core.isa_ext import OpForm
 from repro.core.ovb import OperandState, OperandValueBuffer
 from repro.core.specsched import SpeculativeSchedule
 from repro.core.sync_register import SyncRegisterState
-
-TraceFn = Callable[[int, str], None]
 
 
 @dataclass
@@ -60,7 +67,8 @@ class VLIWEngineSim:
         ovb: OperandValueBuffer,
         sync: SyncRegisterState,
         cc: CompensationEngine,
-        trace: Optional[TraceFn] = None,
+        trace: Optional[TraceSink] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.spec_schedule = spec_schedule
         self.machine: MachineDescription = spec_schedule.schedule.machine
@@ -69,6 +77,7 @@ class VLIWEngineSim:
         self.sync = sync
         self.cc = cc
         self._trace = trace
+        self._metrics = metrics
 
         missing = set(spec_schedule.spec.ldpred_ids) - set(self.outcomes)
         if missing:
@@ -104,10 +113,18 @@ class VLIWEngineSim:
                 issue = max(tentative, clear)
             stall = issue - tentative
             if stall:
-                self._emit(issue, f"stall {stall} cycle(s) on bits {sorted(wait)}")
+                self._metrics.inc("vliw.stalls")
+                self._metrics.inc("vliw.stall_cycles", stall)
+                if self._trace is not None:
+                    self._trace.emit(
+                        StallEvent(
+                            cycle=issue, bits=tuple(sorted(wait)), stall=stall
+                        )
+                    )
             stats.stall_cycles += stall
             shift += stall
             stats.instructions_issued += 1
+            self._metrics.inc("vliw.instructions")
 
             for slot in instr.slots:
                 self._issue_op(slot.operation, issue, slot.latency, stats)
@@ -127,7 +144,11 @@ class VLIWEngineSim:
             self.sync.set_bit(info.sync_bit, issue)
             self.ovb.record_predicted(op.op_id, available_at=completion)
             stats.predictions += 1
-            self._emit(issue, f"LdPred op{op.op_id} sets bit {info.sync_bit}")
+            self._metrics.inc("vliw.predictions")
+            if self._trace is not None:
+                self._trace.emit(
+                    LdPredEvent(cycle=issue, op_id=op.op_id, sync_bit=info.sync_bit)
+                )
         elif info.form is OpForm.CHECK:
             self._complete_check(op, info.verifies, completion, stats)
         elif info.form is OpForm.SPECULATIVE:
@@ -144,7 +165,11 @@ class VLIWEngineSim:
                     sync_bit=info.sync_bit,
                 )
             )
-            self._emit(issue, f"speculate op{op.op_id} (bit {info.sync_bit}) -> CCB")
+            self._metrics.inc("vliw.speculated")
+            if self._trace is not None:
+                self._trace.emit(
+                    SpeculateEvent(cycle=issue, op_id=op.op_id, sync_bit=info.sync_bit)
+                )
         # PLAIN and NONSPEC ops need no special action at issue: wait-bit
         # gating already happened at the instruction level.
 
@@ -156,11 +181,19 @@ class VLIWEngineSim:
         # value and (on mismatch) updated the register file with it.
         self.sync.clear_bit(ldpred_bit, completion)
         self.ovb.apply_check(ldpred_id, completion, correct)
+        if self._trace is not None:
+            self._trace.emit(
+                CheckEvent(
+                    cycle=completion,
+                    op_id=op.op_id,
+                    ldpred_id=ldpred_id,
+                    correct=correct,
+                )
+            )
         if not correct:
             stats.mispredictions += 1
-            self._emit(completion, f"check op{op.op_id}: MISPREDICT (LdPred op{ldpred_id})")
+            self._metrics.inc("vliw.mispredictions")
             return
-        self._emit(completion, f"check op{op.op_id}: correct (LdPred op{ldpred_id})")
         # On success the check clears the bits of dependent speculated
         # ops whose *every* origin is now verified correct.
         for spec_id in self._spec_by_origin.get(ldpred_id, ()):
@@ -174,8 +207,11 @@ class VLIWEngineSim:
                 settle = max(r.resolved_at for r in origin_records)
                 self.ovb.resolve_speculated_correct(spec_id, settle)
                 self.sync.clear_bit(spec.info[spec_id].sync_bit, settle)
-                self._emit(settle, f"check clears bit of op{spec_id} (all origins correct)")
-
-    def _emit(self, time: int, message: str) -> None:
-        if self._trace is not None:
-            self._trace(time, f"VLIW: {message}")
+                if self._trace is not None:
+                    self._trace.emit(
+                        BitClearEvent(
+                            cycle=settle,
+                            op_id=spec_id,
+                            sync_bit=spec.info[spec_id].sync_bit,
+                        )
+                    )

@@ -7,7 +7,8 @@ Usage::
     repro-eval figure8 --threshold 0.8
     repro-eval all --jobs 4                  # parallel pipeline execution
     repro-eval table2 --benchmarks swim,li   # restrict the suite
-    repro-eval all --events run.jsonl        # JSONL progress/metrics events
+    repro-eval all --events run.jsonl        # JSONL progress events (one run per file)
+    repro-eval all --metrics metrics.json    # merged observability snapshot
     repro-eval all --no-cache                # bypass the on-disk result cache
     repro-eval all --cache-dir /tmp/repro    # relocate it
     repro-eval cache stats                   # inspect it
@@ -103,7 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         metavar="PATH",
         default=None,
-        help="append structured JSON-lines progress events to PATH",
+        help=(
+            "write structured JSON-lines progress events to PATH "
+            "(truncated per run; every record carries this run's run_id)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "collect simulator observability metrics and write the merged "
+            "snapshot (plus the runner summary) to PATH as JSON"
+        ),
     )
     parser.add_argument(
         "--progress",
@@ -148,6 +161,20 @@ def _cache_command(args: argparse.Namespace) -> int:
     return 2
 
 
+def _write_metrics(path: Optional[str], evaluation: Evaluation, events: EventLog) -> None:
+    """Dump the merged simulator metrics snapshot plus runner summary."""
+    if path is None:
+        return
+    payload = {
+        "run_id": events.run_id,
+        "metrics": evaluation.metrics_snapshot().as_dict(),
+        "runner": events.summary(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -170,7 +197,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         renderer=ProgressRenderer() if args.progress else None,
     )
     runner = Runner(jobs=args.jobs, cache=cache, events=events)
-    evaluation = Evaluation(settings, runner=runner)
+    evaluation = Evaluation(
+        settings, runner=runner, collect_metrics=args.metrics is not None
+    )
 
     names = args.experiments
     run_all = names == ["all"] or "all" in names
@@ -197,6 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(json.dumps(payload, indent=2, default=str))
             else:
                 print(full_report(evaluation))
+            _write_metrics(args.metrics, evaluation, events)
             return 0
         for name in names:
             if args.json:
@@ -208,6 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(run_experiment(name, evaluation))
                 print()
+        _write_metrics(args.metrics, evaluation, events)
         return 0
     finally:
         runner.close()

@@ -76,9 +76,15 @@ class Evaluation:
         self,
         settings: Optional[EvaluationSettings] = None,
         runner: Optional["Runner"] = None,
+        collect_metrics: bool = False,
     ):
         self.settings = settings or EvaluationSettings()
         self.runner = runner
+        #: When set, every simulate stage aggregates an observability
+        #: snapshot into its result (``ProgramSimResult.metrics``); see
+        #: :meth:`metrics_snapshot`.  Off by default — simulate job keys
+        #: and timing outputs are unchanged.
+        self.collect_metrics = collect_metrics
         self._programs: Dict[str, Program] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
@@ -162,11 +168,14 @@ class Evaluation:
                         scale=self.settings.scale,
                         spec_config=self.settings.spec_config,
                         model_icache=model_icache,
+                        collect_metrics=self.collect_metrics,
                     )
                 )
             else:
                 self._simulations[key] = simulate_program(
-                    self.compilation(name, machine), model_icache=model_icache
+                    self.compilation(name, machine),
+                    model_icache=model_icache,
+                    collect_metrics=self.collect_metrics,
                 )
         return self._simulations[key]
 
@@ -190,12 +199,15 @@ class Evaluation:
                 machine = getattr(self, machine_attr)
                 for benchmark in self.settings.benchmarks:
                     if stage == "simulate":
+                        # Mirror simulation()'s spec exactly, or warmed
+                        # jobs would miss the keys the reads use.
                         job = simulate_job(
                             benchmark,
                             machine,
                             scale=self.settings.scale,
                             spec_config=self.settings.spec_config,
                             model_icache=model_icache,
+                            collect_metrics=self.collect_metrics,
                         )
                     else:
                         job = compile_job(
@@ -220,6 +232,27 @@ class Evaluation:
         if jobs:
             self.runner.run(jobs)
         return len(jobs)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """Merge of every collected simulation metrics snapshot so far.
+
+        Requires ``collect_metrics=True``; returns a
+        :class:`repro.obs.metrics.MetricsSnapshot` covering all
+        (benchmark, machine) simulations this evaluation has run.
+        """
+        from repro.obs.metrics import MetricsSnapshot
+
+        if not self.collect_metrics:
+            raise RuntimeError(
+                "metrics_snapshot() needs Evaluation(collect_metrics=True)"
+            )
+        total = MetricsSnapshot.empty()
+        for result in self._simulations.values():
+            if result.metrics is not None:
+                total = total.merged(result.metrics)
+        return total
 
     # -- convenience ----------------------------------------------------------
 

@@ -1,0 +1,76 @@
+"""repro.obs — unified observability for the simulator and the runner.
+
+Three layers, each usable alone:
+
+* :mod:`repro.obs.metrics` — a lightweight counter/gauge/histogram
+  registry with near-zero disabled overhead and a snapshot/merge API,
+  so per-block metrics aggregate up through program compilation and
+  dynamic simulation (``vliw.stall_cycles``, ``cce.flush``,
+  ``cce.reexec``, ``ovb.state_transitions{PN,RN,C,R}``, ...).
+* :mod:`repro.obs.trace` — typed structured trace events (dataclasses
+  with ``kind``/``cycle``/``op_id``) emitted by the VLIW engine, the
+  Compensation Code Engine, the OVB and the Synchronization register.
+* :mod:`repro.obs.perfetto` — a Chrome trace-event / Perfetto JSON
+  exporter rendering the two engines as parallel tracks, plus
+  runner-stage timing spans.
+
+The ``repro-trace`` CLI (:mod:`repro.obs.cli`) ties them together: run a
+benchmark or the paper's worked example and emit a metrics snapshot and
+a ``.trace.json`` that https://ui.perfetto.dev opens directly.
+"""
+
+from repro.obs.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    metric_key,
+)
+from repro.obs.perfetto import (
+    RUNNER_PID,
+    block_run_events,
+    chrome_trace,
+    runner_span_events,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.trace import (
+    BitClearEvent,
+    CheckEvent,
+    ExecuteEvent,
+    FlushEvent,
+    LdPredEvent,
+    OvbTransitionEvent,
+    SpeculateEvent,
+    StallEvent,
+    SyncClearEvent,
+    SyncSetEvent,
+    TraceEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "BitClearEvent",
+    "CheckEvent",
+    "ExecuteEvent",
+    "FlushEvent",
+    "HistogramSummary",
+    "LdPredEvent",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "OvbTransitionEvent",
+    "RUNNER_PID",
+    "SpeculateEvent",
+    "StallEvent",
+    "SyncClearEvent",
+    "SyncSetEvent",
+    "TraceEvent",
+    "TraceSink",
+    "block_run_events",
+    "chrome_trace",
+    "metric_key",
+    "runner_span_events",
+    "validate_chrome_trace",
+    "write_trace",
+]

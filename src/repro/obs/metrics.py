@@ -1,0 +1,274 @@
+"""A lightweight metrics layer: counters, gauges, histograms.
+
+The simulator and the experiment pipeline are instrumented against a
+:class:`MetricsRegistry`.  The registry is deliberately tiny:
+
+* **counters** accumulate integer increments (``cce.flush``,
+  ``vliw.stall_cycles``);
+* **gauges** record a level and keep the maximum seen (``ovb.size``);
+* **histograms** keep a running summary — count, total, min, max — of
+  observed values (``cce.ccb_occupancy``).
+
+Metric keys are a dotted name plus an optional label rendered as
+``name{label}`` (``ovb.state_transitions{PN}``,
+``predict.hit{stride+fcm}``), so a family of related series shares one
+name and snapshots stay plain string-keyed dictionaries.
+
+Instrumented code paths take a registry argument defaulting to
+:data:`NULL_METRICS`, a process-wide disabled registry whose update
+methods return after a single attribute check — the overhead of
+disabled metrics is one branch per site, which is what lets the hot
+simulation loops stay instrumented unconditionally.
+
+:class:`MetricsSnapshot` is the immutable read side: ``snapshot()`` the
+registry, ``merged()`` snapshots across blocks or benchmarks,
+``scaled()`` one by an execution frequency, and ``as_dict()`` /
+``from_dict()`` for JSON round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+def metric_key(name: str, label: Optional[str] = None) -> str:
+    """Canonical series key: ``name`` or ``name{label}``."""
+    if label is None:
+        return name
+    return f"{name}{{{label}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Running summary of one observed series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merged(self, other: "HistogramSummary") -> "HistogramSummary":
+        if other.count == 0:
+            return HistogramSummary(self.count, self.total, self.min, self.max)
+        if self.count == 0:
+            return HistogramSummary(other.count, other.total, other.min, other.max)
+        return HistogramSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    def scaled(self, factor: int) -> "HistogramSummary":
+        """The summary of this series repeated ``factor`` times."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        if factor == 0 or self.count == 0:
+            return HistogramSummary()
+        return HistogramSummary(
+            count=self.count * factor,
+            total=self.total * factor,
+            min=self.min,
+            max=self.max,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HistogramSummary":
+        return cls(
+            count=int(data.get("count", 0)),
+            total=float(data.get("total", 0.0)),
+            min=data.get("min"),
+            max=data.get("max"),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time view of a registry (or a merge of many)."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls()
+
+    def counter(self, name: str, label: Optional[str] = None) -> int:
+        return self.counters.get(metric_key(name, label), 0)
+
+    def gauge(self, name: str, label: Optional[str] = None) -> Optional[float]:
+        return self.gauges.get(metric_key(name, label))
+
+    def histogram(
+        self, name: str, label: Optional[str] = None
+    ) -> HistogramSummary:
+        return self.histograms.get(metric_key(name, label), HistogramSummary())
+
+    def counter_family(self, name: str) -> Dict[str, int]:
+        """All labelled series of one counter name, keyed by label."""
+        prefix = name + "{"
+        out: Dict[str, int] = {}
+        for key, value in self.counters.items():
+            if key.startswith(prefix) and key.endswith("}"):
+                out[key[len(prefix):-1]] = value
+        return out
+
+    def merged(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots: counters add, gauges keep the max
+        (gauges here record peaks), histograms pool."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = max(gauges[key], value) if key in gauges else value
+        histograms = {k: v.merged(HistogramSummary()) for k, v in self.histograms.items()}
+        for key, value in other.histograms.items():
+            histograms[key] = histograms.get(key, HistogramSummary()).merged(value)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def scaled(self, factor: int) -> "MetricsSnapshot":
+        """This snapshot repeated ``factor`` times (frequency weighting):
+        counters and histogram populations multiply, gauges are levels
+        and stay put."""
+        return MetricsSnapshot(
+            counters={k: v * factor for k, v in self.counters.items()},
+            gauges=dict(self.gauges),
+            histograms={k: v.scaled(factor) for k, v in self.histograms.items()},
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: v.as_dict() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in data.get("gauges", {}).items()},
+            histograms={
+                k: HistogramSummary.from_dict(v)
+                for k, v in data.get("histograms", {}).items()
+            },
+        )
+
+
+class MetricsRegistry:
+    """Mutable metric store the instrumentation writes into.
+
+    A disabled registry (``enabled=False``) rejects every update after a
+    single branch and never allocates; :data:`NULL_METRICS` is the shared
+    disabled instance used as the default argument throughout the
+    simulator.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramSummary] = {}
+
+    # -- write side -------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, label: Optional[str] = None) -> None:
+        """Add ``value`` to a counter."""
+        if not self.enabled:
+            return
+        key = metric_key(name, label)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(
+        self, name: str, value: float, label: Optional[str] = None
+    ) -> None:
+        """Record a level; the registry keeps the maximum seen."""
+        if not self.enabled:
+            return
+        key = metric_key(name, label)
+        prior = self._gauges.get(key)
+        self._gauges[key] = value if prior is None else max(prior, value)
+
+    def observe(
+        self, name: str, value: float, label: Optional[str] = None
+    ) -> None:
+        """Feed one sample into a histogram series."""
+        if not self.enabled:
+            return
+        key = metric_key(name, label)
+        summary = self._histograms.get(key)
+        if summary is None:
+            summary = self._histograms[key] = HistogramSummary()
+        summary.observe(value)
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold an already-aggregated snapshot into this registry
+        (how per-block metrics roll up into a program-level registry)."""
+        if not self.enabled:
+            return
+        for key, value in snapshot.counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in snapshot.gauges.items():
+            prior = self._gauges.get(key)
+            self._gauges[key] = value if prior is None else max(prior, value)
+        for key, value in snapshot.histograms.items():
+            self._histograms[key] = self._histograms.get(
+                key, HistogramSummary()
+            ).merged(value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- read side --------------------------------------------------------
+
+    def counter(self, name: str, label: Optional[str] = None) -> int:
+        return self._counters.get(metric_key(name, label), 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={
+                k: HistogramSummary(v.count, v.total, v.min, v.max)
+                for k, v in self._histograms.items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<MetricsRegistry {state}: {len(self._counters)} counter(s), "
+            f"{len(self._gauges)} gauge(s), {len(self._histograms)} histogram(s)>"
+        )
+
+
+#: Shared disabled registry: the default for every instrumented code path.
+NULL_METRICS = MetricsRegistry(enabled=False)

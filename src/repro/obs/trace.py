@@ -1,0 +1,239 @@
+"""Typed structured trace events for the dual-engine simulator.
+
+These dataclasses replace the former ``(cycle, "free-form string")``
+tuples: every event carries a machine-readable ``kind``, the engine that
+produced it, a ``cycle``, and whatever identifiers the event is about
+(``op_id``, sync bit, verdict).  Consumers that want the old human text
+call :meth:`TraceEvent.describe`; consumers that want structure (the
+timeline renderer, the Perfetto exporter, tests) match on the event
+classes or ``kind`` and never parse strings.
+
+Events are collected by a :class:`TraceSink`, which the block simulator
+threads through the VLIW engine, the Compensation Code Engine, the OVB
+and the Synchronization register.  A ``None`` sink disables tracing
+entirely (the default for bulk simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Iterator, List, Tuple
+
+#: Engine/track identifiers, used by the Perfetto exporter for grouping.
+ENGINE_VLIW = "vliw"
+ENGINE_CCE = "cce"
+ENGINE_OVB = "ovb"
+ENGINE_SYNC = "sync"
+
+_ENGINE_PREFIX = {
+    ENGINE_VLIW: "VLIW",
+    ENGINE_CCE: "CCE",
+    ENGINE_OVB: "OVB",
+    ENGINE_SYNC: "SYNC",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: one thing that happened at one cycle."""
+
+    kind: ClassVar[str] = "event"
+    engine: ClassVar[str] = ""
+
+    cycle: int
+
+    def describe(self) -> str:
+        """Human-readable body (no engine prefix)."""
+        return self.kind
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form, ``kind``/``engine`` included."""
+        out: Dict[str, Any] = {"kind": self.kind, "engine": self.engine}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    def __str__(self) -> str:
+        prefix = _ENGINE_PREFIX.get(self.engine, self.engine)
+        return f"{prefix}: {self.describe()}" if prefix else self.describe()
+
+
+# -- VLIW Engine events ------------------------------------------------------
+
+@dataclass(frozen=True)
+class StallEvent(TraceEvent):
+    """An instruction stalled on Synchronization bits before issuing."""
+
+    kind: ClassVar[str] = "stall"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    bits: Tuple[int, ...]
+    stall: int
+
+    def describe(self) -> str:
+        return f"stall {self.stall} cycle(s) on bits {list(self.bits)}"
+
+
+@dataclass(frozen=True)
+class LdPredEvent(TraceEvent):
+    """An ``LdPred`` issued: predicted value deposited, sync bit set."""
+
+    kind: ClassVar[str] = "ldpred"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    op_id: int
+    sync_bit: int
+
+    def describe(self) -> str:
+        return f"LdPred op{self.op_id} sets bit {self.sync_bit}"
+
+
+@dataclass(frozen=True)
+class SpeculateEvent(TraceEvent):
+    """A speculated op issued and shipped into the CCB."""
+
+    kind: ClassVar[str] = "speculate"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    op_id: int
+    sync_bit: int
+
+    def describe(self) -> str:
+        return f"speculate op{self.op_id} (bit {self.sync_bit}) -> CCB"
+
+
+@dataclass(frozen=True)
+class CheckEvent(TraceEvent):
+    """A check-prediction op completed with a verdict."""
+
+    kind: ClassVar[str] = "check"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    op_id: int
+    ldpred_id: int
+    correct: bool
+
+    def describe(self) -> str:
+        verdict = "correct" if self.correct else "MISPREDICT"
+        return f"check op{self.op_id}: {verdict} (LdPred op{self.ldpred_id})"
+
+
+@dataclass(frozen=True)
+class BitClearEvent(TraceEvent):
+    """A successful check cleared a dependent speculated op's bit."""
+
+    kind: ClassVar[str] = "bit_clear"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    op_id: int
+    sync_bit: int
+
+    def describe(self) -> str:
+        return f"check clears bit of op{self.op_id} (all origins correct)"
+
+
+# -- Compensation Code Engine events ----------------------------------------
+
+@dataclass(frozen=True)
+class FlushEvent(TraceEvent):
+    """A correctly speculated CCB entry drained in one pipeline slot."""
+
+    kind: ClassVar[str] = "flush"
+    engine: ClassVar[str] = ENGINE_CCE
+
+    op_id: int
+    completion: int
+
+    def describe(self) -> str:
+        return f"flush op{self.op_id}"
+
+
+@dataclass(frozen=True)
+class ExecuteEvent(TraceEvent):
+    """A CCB entry re-executed with corrected operand values."""
+
+    kind: ClassVar[str] = "execute"
+    engine: ClassVar[str] = ENGINE_CCE
+
+    op_id: int
+    completion: int
+
+    def describe(self) -> str:
+        return f"execute op{self.op_id} -> done @{self.completion}"
+
+
+# -- Operand Value Buffer events --------------------------------------------
+
+@dataclass(frozen=True)
+class OvbTransitionEvent(TraceEvent):
+    """An OVB record entered a verification state (PN/RN/C/R)."""
+
+    kind: ClassVar[str] = "ovb_transition"
+    engine: ClassVar[str] = ENGINE_OVB
+
+    op_id: int
+    state: str
+
+    def describe(self) -> str:
+        return f"op{self.op_id} -> {self.state}"
+
+
+# -- Synchronization register events ----------------------------------------
+
+@dataclass(frozen=True)
+class SyncSetEvent(TraceEvent):
+    """A Synchronization bit was set by its producer."""
+
+    kind: ClassVar[str] = "sync_set"
+    engine: ClassVar[str] = ENGINE_SYNC
+
+    bit: int
+
+    def describe(self) -> str:
+        return f"set bit {self.bit}"
+
+
+@dataclass(frozen=True)
+class SyncClearEvent(TraceEvent):
+    """A Synchronization bit's clear time was recorded (or improved)."""
+
+    kind: ClassVar[str] = "sync_clear"
+    engine: ClassVar[str] = ENGINE_SYNC
+
+    bit: int
+
+    def describe(self) -> str:
+        return f"clear bit {self.bit}"
+
+
+class TraceSink:
+    """Ordered collector of :class:`TraceEvent`.
+
+    Events arrive in emission order, which is chronological per engine
+    but only loosely so across engines; consumers that need a global
+    order sort by ``cycle`` (Python's stable sort preserves emission
+    order within a cycle).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def sorted(self) -> List[TraceEvent]:
+        return sorted(self.events, key=lambda e: e.cycle)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -21,6 +21,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Union
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+
 Value = Union[int, float]
 Key = Hashable
 
@@ -67,6 +69,7 @@ class ValuePredictor(abc.ABC):
     def __init__(self) -> None:
         self.stats = PredictorStats()
         self._per_key: Dict[Key, PredictorStats] = {}
+        self._metrics: MetricsRegistry = NULL_METRICS
 
     # -- core protocol -----------------------------------------------------
 
@@ -83,6 +86,12 @@ class ValuePredictor(abc.ABC):
         self.stats = PredictorStats()
         self._per_key = {}
 
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Mirror :meth:`observe` outcomes into a metrics registry as
+        ``predict.hit`` / ``predict.miss`` / ``predict.no_prediction``
+        counters labelled by predictor type."""
+        self._metrics = metrics
+
     # -- instrumented use ----------------------------------------------------
 
     def observe(self, key: Key, actual: Value) -> Optional[Value]:
@@ -93,12 +102,17 @@ class ValuePredictor(abc.ABC):
         if prediction is None:
             self.stats.no_prediction += 1
             stats.no_prediction += 1
+            self._metrics.inc("predict.no_prediction", label=self.name)
         else:
             self.stats.predictions += 1
             stats.predictions += 1
-            if _values_equal(prediction, actual):
+            correct = _values_equal(prediction, actual)
+            if correct:
                 self.stats.correct += 1
                 stats.correct += 1
+            self._metrics.inc(
+                "predict.hit" if correct else "predict.miss", label=self.name
+            )
         self.update(key, actual)
         return prediction
 

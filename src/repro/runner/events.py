@@ -8,7 +8,14 @@ one-line progress output on stderr.
 
 Event schema (one JSON object per line)::
 
-    {"ts": <seconds since run start>, "event": <type>, ...fields}
+    {"ts": <seconds since run start>, "run_id": <hex id>, "event": <type>,
+     ...fields}
+
+Each :class:`EventLog` instance stamps every record with a fresh
+``run_id`` and *truncates* the JSONL file it is given, so a rerun with
+the same ``--events`` path never interleaves with a previous run's
+records.  :func:`read_events` can still filter multi-run files (produced
+by external concatenation) by ``run_id``.
 
 Types and their extra fields:
 
@@ -33,6 +40,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+import uuid
 from typing import Any, Dict, IO, Iterable, List, Optional
 
 
@@ -67,6 +75,12 @@ class ProgressRenderer:
                 f"{event['error']}",
                 file=self.stream,
             )
+        elif kind == "job_failed":
+            print(
+                f"FAILED  {event['job']} after {event['attempts']} attempt(s): "
+                f"{event['error']}",
+                file=self.stream,
+            )
         elif kind == "fallback":
             print(f"runner: falling back to serial — {event['reason']}", file=self.stream)
         elif kind == "run_finish":
@@ -88,6 +102,7 @@ class EventLog:
     ):
         self.path = path
         self.renderer = renderer
+        self.run_id = uuid.uuid4().hex[:12]
         self.events: List[Dict[str, Any]] = []
         self._fh: Optional[IO[str]] = None
         self._t0 = time.monotonic()
@@ -99,10 +114,17 @@ class EventLog:
         self.retries = 0
         self.failures = 0
         if path:
-            self._fh = open(path, "a", encoding="utf-8")
+            # Truncate: one file = one run.  Appending (the historical
+            # behaviour) interleaved reruns and broke any consumer that
+            # counted events — e.g. the warm-rerun acceptance check.
+            self._fh = open(path, "w", encoding="utf-8")
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        record = {"ts": round(time.monotonic() - self._t0, 6), "event": event}
+        record = {
+            "ts": round(time.monotonic() - self._t0, 6),
+            "run_id": self.run_id,
+            "event": event,
+        }
         record.update(fields)
         self.events.append(record)
         if event == "cache_hit":
@@ -139,6 +161,16 @@ class EventLog:
             "failures": self.failures,
         }
 
+    def chrome_trace(self) -> Dict[str, Any]:
+        """This run's events as a Chrome trace-event JSON object.
+
+        Job start/finish pairs become spans on per-stage runner tracks;
+        see :func:`repro.obs.perfetto.runner_span_events`.
+        """
+        from repro.obs.perfetto import chrome_trace, runner_span_events
+
+        return chrome_trace(runner_span_events(self.events))
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -151,8 +183,12 @@ class EventLog:
         self.close()
 
 
-def read_events(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL events file (skipping any truncated trailing line)."""
+def read_events(path: str, run_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Parse a JSONL events file (skipping blank and truncated lines).
+
+    ``run_id`` restricts the result to one run's records — useful for
+    files that hold several concatenated runs.
+    """
     out: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -160,18 +196,39 @@ def read_events(path: str) -> List[Dict[str, Any]]:
             if not line:
                 continue
             try:
-                out.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
                 continue
+            if run_id is not None and record.get("run_id") != run_id:
+                continue
+            out.append(record)
     return out
 
 
-def executed_jobs(events: Iterable[Dict[str, Any]], stage: Optional[str] = None) -> List[Dict[str, Any]]:
-    """``job_finish`` events that actually ran (not cache hits), optionally per stage."""
+def last_run_id(events: Iterable[Dict[str, Any]]) -> Optional[str]:
+    """The ``run_id`` of the last record carrying one, or ``None``."""
+    found: Optional[str] = None
+    for e in events:
+        rid = e.get("run_id")
+        if rid is not None:
+            found = rid
+    return found
+
+
+def executed_jobs(
+    events: Iterable[Dict[str, Any]],
+    stage: Optional[str] = None,
+    run_id: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """``job_finish`` events that actually ran (not cache hits).
+
+    Optionally filtered to one pipeline ``stage`` and/or one ``run_id``.
+    """
     return [
         e
         for e in events
         if e.get("event") == "job_finish"
         and not e.get("cached")
         and (stage is None or e.get("stage") == stage)
+        and (run_id is None or e.get("run_id") == run_id)
     ]

@@ -48,7 +48,7 @@ from repro.machine.description import MachineDescription
 
 #: Bump whenever a pipeline stage's semantics change in a way that makes
 #: previously cached results wrong.  Part of every job key.
-CODE_VERSION = "2026.08.2"
+CODE_VERSION = "2026.08.3"
 
 #: The built-in pipeline stages, in dependency order.
 PIPELINE_STAGES = ("build", "profile", "compile", "simulate")
@@ -267,7 +267,9 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
 
     compilation = dep_result(spec, dep_results, "compile")
     return simulate_program(
-        compilation, model_icache=bool(spec.param("model_icache", False))
+        compilation,
+        model_icache=bool(spec.param("model_icache", False)),
+        collect_metrics=bool(spec.param("collect_metrics", False)),
     )
 
 
@@ -312,9 +314,14 @@ def simulate_spec(
     spec_config: Optional[SpeculationConfig] = None,
     model_icache: bool = False,
     profile_alu: bool = False,
+    collect_metrics: bool = False,
 ) -> JobSpec:
     config = spec_config or SpeculationConfig()
+    # Flags join the params tuple only when set, so enabling a new
+    # option never disturbs the cache keys of existing jobs.
     params: Tuple[Tuple[str, Any], ...] = ()
+    if collect_metrics:
+        params += (("collect_metrics", True),)
     if model_icache:
         params += (("model_icache", True),)
     if profile_alu:

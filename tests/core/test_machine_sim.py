@@ -10,6 +10,7 @@ from repro.core.machine_sim import (
 )
 from repro.core.specsched import schedule_speculative
 from repro.core.speculation import transform_block
+from repro.obs.trace import CheckEvent, ExecuteEvent
 from repro.ir.builder import FunctionBuilder
 from repro.sched.list_scheduler import schedule_block
 
@@ -77,9 +78,22 @@ class TestSingleBlockTiming:
             {chain.spec.ldpred_ids[0]: False},
             collect_trace=True,
         )
-        text = "\n".join(msg for _, msg in traced.trace)
+        checks = [e for e in traced.trace if isinstance(e, CheckEvent)]
+        assert any(not e.correct for e in checks)
+        assert any(isinstance(e, ExecuteEvent) for e in traced.trace)
+        # The rendered form keeps the historical wording.
+        text = "\n".join(str(e) for e in traced.trace)
         assert "MISPREDICT" in text
         assert "execute" in text
+
+    def test_trace_events_sorted_by_cycle(self, chain):
+        traced = simulate_block(
+            chain,
+            {chain.spec.ldpred_ids[0]: False},
+            collect_trace=True,
+        )
+        cycles = [e.cycle for e in traced.trace]
+        assert cycles == sorted(cycles)
 
     def test_all_outcomes_enumerates_patterns(self, chain):
         results = simulate_all_outcomes(chain)

@@ -14,6 +14,18 @@ class TestClassifyOutcome:
         assert classify_outcome(3, 3) is OutcomeClass.ALL_INCORRECT
         assert classify_outcome(3, 1) is OutcomeClass.MIXED
 
+    def test_more_mispredictions_than_predictions_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            classify_outcome(2, 3)
+        with pytest.raises(ValueError, match="exceed"):
+            classify_outcome(0, 1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            classify_outcome(-1, 0)
+        with pytest.raises(ValueError, match="negative"):
+            classify_outcome(3, -1)
+
 
 @pytest.fixture(scope="module")
 def compiled(request):

@@ -85,20 +85,30 @@ class TestScenarioTiming:
 
 class TestTraces:
     def test_trace_shows_parallel_recovery(self, paper_example):
+        from repro.obs.trace import CheckEvent, ExecuteEvent
+
         run = paper_example.scenarios["r4 mispredicted"]
-        text = "\n".join(msg for _, msg in run.trace)
+        assert any(isinstance(e, ExecuteEvent) for e in run.trace)
+        assert any(
+            isinstance(e, CheckEvent) and not e.correct for e in run.trace
+        )
+        # Rendered text keeps the historical engine-prefixed wording.
+        text = "\n".join(str(e) for e in run.trace)
         assert "CCE: execute" in text
         assert "MISPREDICT" in text
 
     def test_flushes_precede_executions_in_r7_case(self, paper_example):
         """Figure 3(c): recovery starts only after the correctly
         speculated ops are flushed out of the CCB head."""
+        from repro.obs.trace import ExecuteEvent, FlushEvent
+
         run = paper_example.scenarios["r7 mispredicted"]
-        events = [
-            (time, msg) for time, msg in run.trace if msg.startswith("CCE")
-        ]
-        first_flush = min(t for t, m in events if "flush" in m)
-        first_exec = min(t for t, m in events if "execute" in m)
+        first_flush = min(
+            e.cycle for e in run.trace if isinstance(e, FlushEvent)
+        )
+        first_exec = min(
+            e.cycle for e in run.trace if isinstance(e, ExecuteEvent)
+        )
         assert first_flush < first_exec
 
     def test_render_includes_all_scenarios(self, paper_example):

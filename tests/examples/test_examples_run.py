@@ -21,15 +21,17 @@ CASES = [
     ("asm_pipeline.py", []),
     ("sweep_issue_width.py", ["0.15"]),
     ("regions_study.py", ["0.5"]),
+    # "{tmp}" expands to the test's temporary directory (for output files).
+    ("trace_export.py", ["{tmp}/example.trace.json"]),
 ]
 
 
 @pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
-def test_example_runs(script, args):
+def test_example_runs(script, args, tmp_path):
     path = EXAMPLES_DIR / script
     assert path.exists(), f"missing example {script}"
     proc = subprocess.run(
-        [sys.executable, str(path), *args],
+        [sys.executable, str(path), *[a.format(tmp=tmp_path) for a in args]],
         capture_output=True,
         text=True,
         timeout=180,

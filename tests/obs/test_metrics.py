@@ -1,0 +1,137 @@
+"""Tests of the metrics registry, snapshots and merge semantics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("cce.flush") == "cce.flush"
+
+    def test_labelled(self):
+        assert metric_key("ovb.state_transitions", "PN") == "ovb.state_transitions{PN}"
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("a", label="x")
+        assert reg.counter("a") == 5
+        assert reg.counter("a", label="x") == 1
+
+    def test_gauge_keeps_max(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("ovb.size", 3)
+        reg.set_gauge("ovb.size", 7)
+        reg.set_gauge("ovb.size", 2)
+        assert reg.snapshot().gauge("ovb.size") == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1, 5, 3):
+            reg.observe("occ", v)
+        h = reg.snapshot().histogram("occ")
+        assert (h.count, h.total, h.min, h.max) == (3, 9.0, 1, 5)
+        assert h.mean == 3.0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        reg.merge_snapshot(MetricsSnapshot(counters={"a": 5}))
+        snap = reg.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}
+
+    def test_null_metrics_is_disabled(self):
+        assert NULL_METRICS.enabled is False
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert reg.counter("a") == 0
+
+    def test_merge_snapshot_adds_counters(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2)
+        reg.merge_snapshot(MetricsSnapshot(counters={"a": 3, "b": 1}))
+        assert reg.counter("a") == 5
+        assert reg.counter("b") == 1
+
+
+class TestSnapshot:
+    def test_merged_counters_add_gauges_max_histograms_pool(self):
+        a = MetricsSnapshot(
+            counters={"c": 1},
+            gauges={"g": 5.0},
+            histograms={"h": HistogramSummary(2, 10.0, 3.0, 7.0)},
+        )
+        b = MetricsSnapshot(
+            counters={"c": 2, "d": 4},
+            gauges={"g": 3.0},
+            histograms={"h": HistogramSummary(1, 1.0, 1.0, 1.0)},
+        )
+        m = a.merged(b)
+        assert m.counter("c") == 3
+        assert m.counter("d") == 4
+        assert m.gauge("g") == 5.0
+        h = m.histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (3, 11.0, 1.0, 7.0)
+
+    def test_merged_does_not_mutate_inputs(self):
+        a = MetricsSnapshot(counters={"c": 1})
+        b = MetricsSnapshot(counters={"c": 2})
+        a.merged(b)
+        assert a.counter("c") == 1 and b.counter("c") == 2
+
+    def test_scaled_multiplies_counters_keeps_gauges(self):
+        s = MetricsSnapshot(
+            counters={"c": 2},
+            gauges={"g": 5.0},
+            histograms={"h": HistogramSummary(2, 6.0, 1.0, 5.0)},
+        )
+        t = s.scaled(3)
+        assert t.counter("c") == 6
+        assert t.gauge("g") == 5.0
+        h = t.histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (6, 18.0, 1.0, 5.0)
+
+    def test_scaled_zero_empties_histograms(self):
+        s = MetricsSnapshot(histograms={"h": HistogramSummary(2, 6.0, 1.0, 5.0)})
+        assert s.scaled(0).histogram("h").count == 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(1, 1.0, 1.0, 1.0).scaled(-1)
+
+    def test_counter_family(self):
+        s = MetricsSnapshot(
+            counters={
+                "ovb.state_transitions{PN}": 2,
+                "ovb.state_transitions{C}": 5,
+                "ovb.state_transitions": 1,  # bare series excluded
+                "other{PN}": 9,
+            }
+        )
+        assert s.counter_family("ovb.state_transitions") == {"PN": 2, "C": 5}
+
+    def test_dict_roundtrip(self):
+        s = MetricsSnapshot(
+            counters={"c": 2},
+            gauges={"g": 5.0},
+            histograms={"h": HistogramSummary(2, 6.0, 1.0, 5.0)},
+        )
+        back = MetricsSnapshot.from_dict(s.as_dict())
+        assert back.counter("c") == 2
+        assert back.gauge("g") == 5.0
+        assert back.histogram("h").total == 6.0
