@@ -10,6 +10,7 @@ that does not come from the bundled workloads.
 Run:  python examples/asm_pipeline.py
 """
 
+from repro.compiler import PassManager, standard_pipeline
 from repro.core import (
     schedule_speculative,
     simulate_block,
@@ -18,7 +19,6 @@ from repro.core import (
 )
 from repro.ir import compute_liveness, format_program_asm, parse_program
 from repro.machine import PLAYDOH_4W
-from repro.opt import optimize_program
 from repro.profiling import profile_program
 from repro.sched import schedule_block
 
@@ -54,8 +54,10 @@ done:
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
-    program = optimize_program(program)
+    # The `optimize` frontend pass is fold + copyprop + dce to a fixpoint,
+    # with the IR verified after each pass.
+    manager = PassManager(standard_pipeline(optimize=True))
+    program = manager.run_program_passes(parse_program(SOURCE))
     machine = PLAYDOH_4W
 
     print("parsed + optimised program:")

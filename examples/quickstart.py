@@ -17,7 +17,8 @@ Run:  python examples/quickstart.py [benchmark]
 
 import sys
 
-from repro.core import OutcomeClass, compile_program, simulate_program
+from repro.compiler import compile_program
+from repro.core import OutcomeClass, simulate_program
 from repro.machine import PLAYDOH_4W
 from repro.profiling import profile_program
 from repro.workloads import benchmark_names, load_benchmark

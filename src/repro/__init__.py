@@ -27,13 +27,22 @@ scratch in Python:
   folding, copy propagation, dead-code elimination).
 * :mod:`repro.regions` — superblock-style region enlargement
   (straight-line merging, loop unrolling with register renaming).
+* :mod:`repro.compiler` — the pass-pipeline driver: a registry of
+  named passes, a declarative (serializable, content-hashable)
+  :class:`~repro.compiler.PipelineConfig`, and the
+  :class:`~repro.compiler.PassManager` that runs it with inter-pass
+  IR verification and per-pass metrics.
+* :mod:`repro.runner` — parallel, disk-cached experiment execution;
+  job cache keys incorporate the pipeline config.
+* :mod:`repro.obs` — metrics, structured tracing, Perfetto export.
 * :mod:`repro.tools` — the ``repro-inspect`` command-line tool.
 
 Quickstart::
 
     from repro.machine import PLAYDOH_4W
     from repro.profiling import profile_program
-    from repro.core import compile_program, simulate_program
+    from repro.compiler import compile_program
+    from repro.core import simulate_program
     from repro.workloads import load_benchmark
 
     program = load_benchmark("compress")
@@ -41,6 +50,18 @@ Quickstart::
     compilation = compile_program(program, PLAYDOH_4W, profile)
     result = simulate_program(compilation)
     print(f"speedup over no prediction: {result.speedup_proposed:.3f}")
+
+Non-standard pipelines are declared, not hand-stitched::
+
+    from repro.compiler import PassManager, standard_pipeline
+
+    pipeline = standard_pipeline(optimize=True, unroll=("loop", 2))
+    compilation = PassManager(pipeline).run(program, PLAYDOH_4W, None)
+
+``python -m repro.compiler list`` prints the resolved pass order and
+per-pass options; ``python -m repro.compiler digest`` emits a stable
+content hash of every benchmark's compilation (the CI determinism
+check).
 """
 
 __version__ = "1.0.0"

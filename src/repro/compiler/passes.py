@@ -1,0 +1,312 @@
+"""The pass registry and the built-in passes.
+
+A *pass* is a named, registered unit of pipeline work.  Three kinds
+exist, distinguished by what they transform:
+
+* ``function`` — ``fn(function, **options) -> Function``; the manager
+  lifts it over every function of the program (fresh
+  :class:`~repro.ir.program.Program`, same memory/register images).
+* ``program`` — ``fn(program, **options) -> Program``; whole-program
+  rewrites such as loop unrolling.
+* ``codegen`` — ``fn(state, **options) -> bool``; reads and extends the
+  :class:`CompileState` that accumulates the compilation products.  The
+  return value reports whether the pass produced anything (it feeds the
+  ``compiler.pass_changed`` metric).
+
+Registration is open: tests and downstream users may
+:func:`register_pass` their own (including deliberately broken ones, to
+exercise the manager's inter-pass verification).  Options declared at
+registration are the only ones a :class:`~repro.compiler.config.PassSpec`
+may set; :data:`REQUIRED` marks options without a default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.compiler.config import PassSpec
+from repro.ir.function import Function
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.program import Program
+from repro.machine.description import MachineDescription
+from repro.profiling.profile_run import ProfileData
+from repro.core.speculation import SpeculationConfig
+
+
+class PipelineError(RuntimeError):
+    """A pipeline is malformed: unknown pass, bad options, or a codegen
+    pass running before one it depends on."""
+
+
+#: Sentinel default for options a PassSpec must provide explicitly.
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """Registry entry for one pass."""
+
+    name: str
+    kind: str  # "function" | "program" | "codegen"
+    summary: str
+    defaults: Tuple[Tuple[str, Any], ...]
+    fn: Callable[..., Any]
+
+
+_REGISTRY: Dict[str, PassInfo] = {}
+
+
+def register_pass(
+    name: str,
+    kind: str,
+    summary: str,
+    fn: Callable[..., Any],
+    **defaults: Any,
+) -> None:
+    """Register (or override) a pass implementation."""
+    if kind not in ("function", "program", "codegen"):
+        raise ValueError(f"unknown pass kind {kind!r}")
+    _REGISTRY[name] = PassInfo(
+        name=name,
+        kind=kind,
+        summary=summary,
+        defaults=tuple(sorted(defaults.items())),
+        fn=fn,
+    )
+
+
+def pass_info(name: str) -> PassInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown pass {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_passes() -> List[PassInfo]:
+    """All registered passes, sorted by name."""
+    return [info for _, info in sorted(_REGISTRY.items())]
+
+
+def resolve_options(info: PassInfo, spec: PassSpec) -> Dict[str, Any]:
+    """Merge a spec's options over the pass defaults, validating names."""
+    allowed = dict(info.defaults)
+    options: Dict[str, Any] = {}
+    for key, value in spec.options:
+        if key not in allowed:
+            raise PipelineError(
+                f"pass {info.name!r} has no option {key!r}; "
+                f"available: {sorted(allowed)}"
+            )
+        options[key] = value
+    for key, default in allowed.items():
+        if key in options:
+            continue
+        if default is REQUIRED:
+            raise PipelineError(
+                f"pass {info.name!r} requires option {key!r}"
+            )
+        options[key] = default
+    return options
+
+
+# ---------------------------------------------------------------------------
+# compilation state
+
+
+@dataclass
+class CompileState:
+    """Mutable state threaded through the codegen passes.
+
+    ``blocks`` is keyed in program block order and holds the
+    per-block products the final
+    :class:`~repro.core.metrics.ProgramCompilation` is assembled from;
+    ``specs`` holds the intermediate speculative transforms between the
+    ``speculate`` and scheduling/baseline passes.
+    """
+
+    program: Program
+    machine: MachineDescription
+    spec_config: SpeculationConfig
+    profile: Optional[ProfileData]
+    liveness: Optional[LivenessInfo] = None
+    blocks: Dict[str, Any] = field(default_factory=dict)
+    specs: Dict[str, Any] = field(default_factory=dict)
+
+    def require(self, attr: str, needed_by: str, producer: str) -> Any:
+        value = getattr(self, attr)
+        if not value:
+            raise PipelineError(
+                f"pass {needed_by!r} needs {attr!r}; "
+                f"run {producer!r} earlier in the pipeline"
+            )
+        return value
+
+
+# ---------------------------------------------------------------------------
+# built-in program-rewriting passes
+
+
+def _lift_optimize(program: Program, max_iterations: int = 8) -> Program:
+    from repro.opt.passes import optimize_program
+
+    return optimize_program(program, max_iterations=max_iterations)
+
+
+def _lift_unroll(program: Program, label: Any = REQUIRED, factor: int = 2) -> Program:
+    from repro.regions.unroll import unroll_program_loop
+
+    return unroll_program_loop(program, label, factor)
+
+
+def _register_function_pass(name: str, summary: str, importer: Callable[[], Callable]) -> None:
+    def run(function: Function) -> Function:
+        return importer()(function)
+
+    register_pass(name, "function", summary, run)
+
+
+def _import_fold():
+    from repro.opt.passes import constant_folding
+
+    return constant_folding
+
+
+def _import_copyprop():
+    from repro.opt.passes import copy_propagation
+
+    return copy_propagation
+
+
+def _import_dce():
+    from repro.opt.passes import dead_code_elimination
+
+    return dead_code_elimination
+
+
+# ---------------------------------------------------------------------------
+# built-in codegen passes
+
+
+def _pass_liveness(state: CompileState) -> bool:
+    state.liveness = compute_liveness(state.program.main)
+    return True
+
+
+def _pass_schedule_original(state: CompileState) -> bool:
+    from repro.core.metrics import BlockCompilation
+    from repro.sched.list_scheduler import ListScheduler
+
+    scheduler = ListScheduler(state.machine)
+    for block in state.program.main:
+        length = scheduler.schedule_block(block).length
+        state.blocks[block.label] = BlockCompilation(
+            label=block.label, original_length=length
+        )
+    return bool(state.blocks)
+
+
+def _pass_speculate(state: CompileState) -> bool:
+    from repro.core.speculation import speculate_block
+
+    liveness = state.require("liveness", "speculate", "liveness")
+    if state.profile is None:
+        raise PipelineError("pass 'speculate' needs a value profile")
+    for block in state.program.main:
+        spec = speculate_block(
+            block,
+            state.machine,
+            state.profile.values,
+            live_out=liveness.live_out[block.label],
+            config=state.spec_config,
+        )
+        if spec is not None:
+            state.specs[block.label] = spec
+    return bool(state.specs)
+
+
+def _pass_schedule_speculative(state: CompileState) -> bool:
+    from repro.core.specsched import schedule_speculative
+
+    if state.specs:
+        state.require("blocks", "schedule-speculative", "schedule-original")
+    for label, spec in state.specs.items():
+        compilation = state.blocks[label]
+        compilation.spec_schedule = schedule_speculative(
+            spec, state.machine, original_length=compilation.original_length
+        )
+    return bool(state.specs)
+
+
+def _pass_baseline(state: CompileState) -> bool:
+    from repro.core.baseline import build_baseline_block
+
+    if state.specs:
+        state.require("blocks", "baseline", "schedule-original")
+    for label, spec in state.specs.items():
+        compilation = state.blocks[label]
+        compilation.baseline = build_baseline_block(
+            spec, state.machine, original_length=compilation.original_length
+        )
+    return bool(state.specs)
+
+
+# ---------------------------------------------------------------------------
+# registration
+
+_register_function_pass(
+    "fold", "evaluate constant ALU chains and constant branches", _import_fold
+)
+_register_function_pass(
+    "copyprop", "forward register copies to their uses", _import_copyprop
+)
+_register_function_pass(
+    "dce", "drop side-effect-free operations never read", _import_dce
+)
+register_pass(
+    "optimize",
+    "program",
+    "fold + copyprop + dce to a bounded fixpoint",
+    _lift_optimize,
+    max_iterations=8,
+)
+register_pass(
+    "unroll",
+    "program",
+    "unroll one counted self-loop with register renaming",
+    _lift_unroll,
+    label=REQUIRED,
+    factor=2,
+)
+register_pass(
+    "liveness",
+    "codegen",
+    "whole-function liveness (live-out sets per block)",
+    _pass_liveness,
+)
+register_pass(
+    "schedule-original",
+    "codegen",
+    "resource-constrained list schedule of each original block",
+    _pass_schedule_original,
+)
+register_pass(
+    "speculate",
+    "codegen",
+    "value-speculation transform (LdPred/check/Sync assignment)",
+    _pass_speculate,
+)
+register_pass(
+    "schedule-speculative",
+    "codegen",
+    "list-schedule transformed blocks with run-time annotations",
+    _pass_schedule_speculative,
+)
+register_pass(
+    "baseline",
+    "codegen",
+    "statically-recovered baseline (compensation blocks)",
+    _pass_baseline,
+)

@@ -1,10 +1,13 @@
 """Per-block compilation products and outcome classification.
 
-:func:`compile_program` runs the full compiler pipeline over every block
-of a program: original schedule, speculation transform (where
-profitable), speculative schedule, and the statically-recovered baseline
-version.  The resulting :class:`ProgramCompilation` is what both the
-static experiments (Tables 3/4) and the dynamic simulation consume.
+:class:`ProgramCompilation` holds the full compiler output for one
+program on one machine — per block: original schedule length,
+speculation transform (where profitable), speculative schedule, and the
+statically-recovered baseline version.  It is what both the static
+experiments (Tables 3/4) and the dynamic simulation consume.  The
+pipeline that builds it lives in :mod:`repro.compiler`;
+:func:`compile_program` here is a compatibility shim over the standard
+pass list.
 """
 
 from __future__ import annotations
@@ -13,17 +16,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.ir.function import Function
-from repro.ir.liveness import compute_liveness
 from repro.ir.program import Program
 from repro.machine.description import MachineDescription
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.profiling.profile_run import ProfileData
-from repro.sched.list_scheduler import ListScheduler
-from repro.core.baseline import BaselineBlock, build_baseline_block
+from repro.core.baseline import BaselineBlock
 from repro.core.machine_sim import BlockRun, simulate_block
-from repro.core.specsched import SpeculativeSchedule, schedule_speculative
-from repro.core.speculation import SpeculationConfig, speculate_block
+from repro.core.specsched import SpeculativeSchedule
+from repro.core.speculation import SpeculationConfig
 
 
 class OutcomeClass(enum.Enum):
@@ -212,36 +212,15 @@ def compile_program(
     profile: ProfileData,
     config: Optional[SpeculationConfig] = None,
 ) -> ProgramCompilation:
-    """Run the full block-level compilation pipeline over ``program``."""
-    config = config or SpeculationConfig()
-    function: Function = program.main
-    liveness = compute_liveness(function)
-    scheduler = ListScheduler(machine)
+    """Run the full block-level compilation pipeline over ``program``.
 
-    blocks: Dict[str, BlockCompilation] = {}
-    for block in function:
-        original_length = scheduler.schedule_block(block).length
-        compilation = BlockCompilation(label=block.label, original_length=original_length)
-        spec = speculate_block(
-            block,
-            machine,
-            profile.values,
-            live_out=liveness.live_out[block.label],
-            config=config,
-        )
-        if spec is not None:
-            compilation.spec_schedule = schedule_speculative(
-                spec, machine, original_length=original_length
-            )
-            compilation.baseline = build_baseline_block(
-                spec, machine, original_length=original_length
-            )
-        blocks[block.label] = compilation
+    Kept as a compatibility shim: the pipeline itself lives in
+    :mod:`repro.compiler`, whose standard pass list (liveness, original
+    scheduling, speculation, speculative scheduling, baseline) produces
+    the identical :class:`ProgramCompilation`.  Callers wanting a
+    different pass ordering, per-pass metrics or inter-pass verification
+    control should use :class:`repro.compiler.PassManager` directly.
+    """
+    from repro.compiler import PassManager
 
-    return ProgramCompilation(
-        program=program,
-        machine=machine,
-        config=config,
-        profile=profile,
-        blocks=blocks,
-    )
+    return PassManager().compile(program, machine, profile, spec_config=config)

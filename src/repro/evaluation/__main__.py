@@ -13,6 +13,7 @@ Usage::
     repro-eval all --cache-dir /tmp/repro    # relocate it
     repro-eval cache stats                   # inspect it
     repro-eval cache clear                   # empty it
+    repro-eval --list-passes                 # resolved compiler pipeline
 
 Pipeline execution (profile -> compile -> simulate per benchmark and
 machine) is delegated to :mod:`repro.runner`: ``--jobs N`` runs the job
@@ -119,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help=(
+            "print the resolved compiler pipeline (pass order and "
+            "effective per-pass options) and exit"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-job progress lines to stderr",
@@ -182,6 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
 
     settings = EvaluationSettings(scale=args.scale).with_threshold(args.threshold)
+    if args.list_passes:
+        from repro.compiler import standard_pipeline
+
+        print(standard_pipeline().describe(spec_config=settings.spec_config))
+        return 0
     try:
         settings = settings.with_benchmarks(_parse_benchmarks(args.benchmarks))
     except ValueError as exc:

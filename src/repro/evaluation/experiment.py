@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.compiler import PassManager, PipelineConfig
 from repro.ir.program import Program
 from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W
 from repro.machine.description import MachineDescription
 from repro.profiling.profile_run import ProfileData, profile_program
-from repro.core.metrics import ProgramCompilation, compile_program
+from repro.core.metrics import ProgramCompilation
 from repro.core.program_sim import ProgramSimResult, simulate_program
 from repro.core.speculation import SpeculationConfig
 from repro.workloads.suite import BENCHMARKS, load_benchmark, resolve_benchmarks
@@ -89,6 +90,12 @@ class Evaluation:
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
         self._simulations: Dict[Tuple[str, str, bool], ProgramSimResult] = {}
+        # Non-standard-pipeline products, keyed by pipeline fingerprint.
+        self._variant_programs: Dict[Tuple[str, str], Program] = {}
+        self._variant_profiles: Dict[Tuple[str, str], ProfileData] = {}
+        self._variant_compilations: Dict[
+            Tuple[str, str, str], ProgramCompilation
+        ] = {}
 
     # -- pipeline stages ----------------------------------------------------
 
@@ -142,13 +149,83 @@ class Evaluation:
                     )
                 )
             else:
-                self._compilations[key] = compile_program(
+                self._compilations[key] = PassManager().compile(
                     self.program(name),
                     machine,
                     self.profile(name),
-                    config=self.settings.spec_config,
+                    spec_config=self.settings.spec_config,
                 )
         return self._compilations[key]
+
+    # -- pipeline variants ---------------------------------------------------
+    #
+    # A *variant* is the same benchmark compiled under a non-standard
+    # :class:`repro.compiler.PipelineConfig` — e.g. the region-size
+    # sweeps' unrolled loops.  With a runner, variants are ordinary
+    # build/profile/compile jobs (so every unroll factor is a durable
+    # on-disk cache entry); without one, the pass manager runs inline.
+
+    def variant_program(self, name: str, pipeline: PipelineConfig) -> Program:
+        key = (name, pipeline.fingerprint())
+        if key not in self._variant_programs:
+            if self.runner is not None:
+                from repro.runner import adopt_program, build_job
+
+                self._variant_programs[key] = adopt_program(
+                    self.runner.run_job(
+                        build_job(
+                            name, scale=self.settings.scale, pipeline=pipeline
+                        )
+                    )
+                )
+            else:
+                self._variant_programs[key] = PassManager(
+                    pipeline
+                ).run_program_passes(self.program(name))
+        return self._variant_programs[key]
+
+    def variant_profile(self, name: str, pipeline: PipelineConfig) -> ProfileData:
+        key = (name, pipeline.fingerprint())
+        if key not in self._variant_profiles:
+            if self.runner is not None:
+                from repro.runner import profile_job
+
+                self._variant_profiles[key] = self.runner.run_job(
+                    profile_job(
+                        name, scale=self.settings.scale, pipeline=pipeline
+                    )
+                )
+            else:
+                self._variant_profiles[key] = profile_program(
+                    self.variant_program(name, pipeline)
+                )
+        return self._variant_profiles[key]
+
+    def variant_compilation(
+        self, name: str, machine: MachineDescription, pipeline: PipelineConfig
+    ) -> ProgramCompilation:
+        key = (name, machine.name, pipeline.fingerprint())
+        if key not in self._variant_compilations:
+            if self.runner is not None:
+                from repro.runner import compile_job
+
+                self._variant_compilations[key] = self.runner.run_job(
+                    compile_job(
+                        name,
+                        machine,
+                        scale=self.settings.scale,
+                        spec_config=self.settings.spec_config,
+                        pipeline=pipeline,
+                    )
+                )
+            else:
+                self._variant_compilations[key] = PassManager(pipeline).compile(
+                    self.variant_program(name, pipeline),
+                    machine,
+                    self.variant_profile(name, pipeline),
+                    spec_config=self.settings.spec_config,
+                )
+        return self._variant_compilations[key]
 
     def simulation(
         self,

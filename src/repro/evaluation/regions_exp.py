@@ -27,10 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.metrics import compile_program
+from repro.compiler import standard_pipeline
 from repro.ir.printer import format_table
 from repro.profiling.interpreter import run_program
-from repro.profiling.profile_run import profile_program
 from repro.regions.unroll import UnrollError, unroll_program_loop
 from repro.evaluation.experiment import Evaluation
 
@@ -85,15 +84,21 @@ def compute(evaluation: Evaluation) -> List[RegionRow]:
         }
         for factor in FACTORS:
             fractions[factor] = None
+            # Validate unrollability and architectural equivalence
+            # inline (cheap, and it needs both program versions) ...
             try:
                 unrolled = unroll_program_loop(program, label, factor)
             except UnrollError:
                 continue
             if not _architecturally_equivalent(program, unrolled):
                 continue  # trip count not divisible by the factor
-            unrolled_profile = profile_program(unrolled)
-            unrolled_compilation = compile_program(
-                unrolled, machine, unrolled_profile, config=evaluation.settings.spec_config
+            # ... then compile the variant through the shared pipeline:
+            # with a runner, profile+compile are durable cache entries
+            # keyed by the pipeline config (one per unroll factor).
+            unrolled_compilation = evaluation.variant_compilation(
+                name,
+                machine,
+                standard_pipeline(unroll=(label, factor)),
             )
             if not unrolled_compilation.speculated_labels:
                 continue

@@ -197,9 +197,14 @@ def optimize_program(program, passes=DEFAULT_PASSES, max_iterations: int = 8):
     return result
 
 
-def _shape(function: Function) -> tuple:
-    """A structural fingerprint used for fixpoint detection."""
+def function_shape(function: Function) -> tuple:
+    """A structural fingerprint of a function, insensitive to operation
+    ids — used for fixpoint detection here and change detection in the
+    pass manager (:mod:`repro.compiler`)."""
     return tuple(
         (block.label, tuple(str(op).split(": ", 1)[1] for op in block))
         for block in function
     )
+
+
+_shape = function_shape

@@ -32,56 +32,54 @@ counter first, making the shipped program canonical.
 ``build`` and ``profile`` deliberately exclude the speculation config
 from their keys: threshold and predictor ablations re-use the same
 profiling run, which is where most of the wall time goes.
+
+Compilation-shaped stages additionally carry a
+:class:`repro.compiler.PipelineConfig`: ``build`` runs its
+program-rewriting prefix (classical optimisation, loop unrolling),
+``compile`` its codegen passes, and the config's canonical form joins
+the job key — so cache entries are addressed by *pipeline
+specification*, and e.g. every unroll variant of the region sweeps is
+its own durable cache entry.  ``build``/``profile`` keys see only the
+program-rewriting prefix (:meth:`PipelineConfig.frontend`), keeping the
+profile shared across codegen-only config changes; the all-default
+pipeline normalises to ``None`` so standard jobs key exactly as before.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+from repro.compiler.config import PipelineConfig, canonical_value as _canonical
 from repro.core.speculation import SpeculationConfig
 from repro.machine.description import MachineDescription
 
 #: Bump whenever a pipeline stage's semantics change in a way that makes
 #: previously cached results wrong.  Part of every job key.
-CODE_VERSION = "2026.08.3"
+CODE_VERSION = "2026.08.4"
 
 #: The built-in pipeline stages, in dependency order.
 PIPELINE_STAGES = ("build", "profile", "compile", "simulate")
 
 
-def _canonical(value: Any) -> Any:
-    """Reduce ``value`` to JSON-serialisable primitives, deterministically.
+def _normalise_pipeline(
+    pipeline: Optional[PipelineConfig], frontend_only: bool = False
+) -> Optional[PipelineConfig]:
+    """Reduce a pipeline config to its job-key-relevant core.
 
-    Handles the types that appear in job specs: dataclasses, enums,
-    mappings (sorted by stringified key), sequences and primitives.
-    Floats go through ``repr`` so the hash sees full precision.
+    ``frontend_only`` keeps just the program-rewriting prefix (what the
+    ``build``/``profile`` stages run).  A pipeline equivalent to the
+    all-default one normalises to ``None`` so explicit-default callers
+    share cache keys with callers that never mention a pipeline.
     """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            "__dataclass__": type(value).__name__,
-            **{
-                f.name: _canonical(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            },
-        }
-    if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
-    if isinstance(value, Mapping):
-        return {str(_canonical(k)): _canonical(v) for k, v in sorted(
-            value.items(), key=lambda kv: str(_canonical(kv[0]))
-        )}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, float):
-        return repr(value)
-    if isinstance(value, (str, int, bool)) or value is None:
-        return value
-    raise TypeError(f"cannot canonicalise {type(value).__name__} for a job key")
+    if pipeline is None:
+        return None
+    if frontend_only:
+        frontend = pipeline.frontend()
+        return frontend if frontend.program_passes else None
+    return None if pipeline.is_standard() else pipeline
 
 
 @dataclass(frozen=True)
@@ -97,6 +95,9 @@ class JobSpec:
             stages (profiling).
         spec_config: speculation knobs, or ``None`` for stages upstream
             of the speculation pass.
+        pipeline: compiler pipeline configuration, or ``None`` for the
+            standard pipeline (``build``/``profile`` specs carry only
+            its program-rewriting prefix; see :func:`_normalise_pipeline`).
         params: extra stage parameters as a sorted tuple of
             ``(name, value)`` pairs — e.g. ``(("model_icache", True),)``.
     """
@@ -107,6 +108,7 @@ class JobSpec:
     machine: Optional[MachineDescription] = None
     spec_config: Optional[SpeculationConfig] = None
     params: Tuple[Tuple[str, Any], ...] = ()
+    pipeline: Optional[PipelineConfig] = None
 
     def key(self) -> str:
         """Content hash addressing this job's result in the disk cache."""
@@ -119,6 +121,11 @@ class JobSpec:
                 "machine": _canonical(self.machine),
                 "spec_config": _canonical(self.spec_config),
                 "params": _canonical(self.params),
+                # The canonical form, not the dataclass: it excludes
+                # result-neutral knobs such as `verify`.
+                "pipeline": (
+                    self.pipeline.canonical() if self.pipeline else None
+                ),
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -138,6 +145,12 @@ class JobSpec:
         ]
         if flags:
             parts.append("[" + ",".join(flags) + "]")
+        if self.pipeline is not None:
+            front = ",".join(p.render() for p in self.pipeline.program_passes)
+            parts.append(
+                f"+{front}" if front
+                else f"+pipeline:{self.pipeline.fingerprint()[:8]}"
+            )
         return "".join(parts)
 
     def param(self, name: str, default: Any = None) -> Any:
@@ -235,10 +248,15 @@ def _run_build(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     from repro.ir.operation import reset_operation_ids
     from repro.workloads.suite import load_benchmark
 
-    # Canonical ids: every build of (benchmark, scale) numbers its
-    # operations identically, wherever it runs.
+    # Canonical ids: every build of (benchmark, scale, pipeline front
+    # end) numbers its operations identically, wherever it runs.
     reset_operation_ids()
-    return load_benchmark(spec.benchmark, scale=spec.scale)
+    program = load_benchmark(spec.benchmark, scale=spec.scale)
+    if spec.pipeline is not None and spec.pipeline.program_passes:
+        from repro.compiler import PassManager
+
+        program = PassManager(spec.pipeline).run_program_passes(program)
+    return program
 
 
 def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
@@ -251,14 +269,16 @@ def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
 
 
 def _run_compile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
-    from repro.core.metrics import compile_program
+    from repro.compiler import PassManager
 
     if spec.machine is None:
         raise ValueError(f"{spec.job_id}: compile jobs need a machine")
+    # The build dependency already ran the pipeline's program-rewriting
+    # prefix; only the codegen passes run here.
     program = adopt_program(dep_result(spec, dep_results, "build"))
     profile = dep_result(spec, dep_results, "profile")
-    return compile_program(
-        program, spec.machine, profile, config=spec.spec_config
+    return PassManager(spec.pipeline).compile(
+        program, spec.machine, profile, spec_config=spec.spec_config
     )
 
 
@@ -281,15 +301,28 @@ register_stage("simulate", _run_simulate)
 
 # -- spec/job constructors ---------------------------------------------------
 
-def build_spec(benchmark: str, scale: float = 1.0) -> JobSpec:
-    return JobSpec("build", benchmark, scale=scale)
+def build_spec(
+    benchmark: str,
+    scale: float = 1.0,
+    pipeline: Optional[PipelineConfig] = None,
+) -> JobSpec:
+    return JobSpec(
+        "build", benchmark, scale=scale,
+        pipeline=_normalise_pipeline(pipeline, frontend_only=True),
+    )
 
 
 def profile_spec(
-    benchmark: str, scale: float = 1.0, profile_alu: bool = False
+    benchmark: str,
+    scale: float = 1.0,
+    profile_alu: bool = False,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> JobSpec:
     params = (("profile_alu", True),) if profile_alu else ()
-    return JobSpec("profile", benchmark, scale=scale, params=params)
+    return JobSpec(
+        "profile", benchmark, scale=scale, params=params,
+        pipeline=_normalise_pipeline(pipeline, frontend_only=True),
+    )
 
 
 def compile_spec(
@@ -298,12 +331,14 @@ def compile_spec(
     scale: float = 1.0,
     spec_config: Optional[SpeculationConfig] = None,
     profile_alu: bool = False,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> JobSpec:
     config = spec_config or SpeculationConfig()
     params = (("profile_alu", True),) if profile_alu else ()
     return JobSpec(
         "compile", benchmark, scale=scale, machine=machine,
         spec_config=config, params=params,
+        pipeline=_normalise_pipeline(pipeline),
     )
 
 
@@ -315,6 +350,7 @@ def simulate_spec(
     model_icache: bool = False,
     profile_alu: bool = False,
     collect_metrics: bool = False,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> JobSpec:
     config = spec_config or SpeculationConfig()
     # Flags join the params tuple only when set, so enabling a new
@@ -329,6 +365,7 @@ def simulate_spec(
     return JobSpec(
         "simulate", benchmark, scale=scale, machine=machine,
         spec_config=config, params=params,
+        pipeline=_normalise_pipeline(pipeline),
     )
 
 
@@ -341,11 +378,13 @@ def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
     """
     profile_alu = bool(spec.param("profile_alu", False))
     if spec.stage == "profile":
-        return (build_spec(spec.benchmark, spec.scale),)
+        return (build_spec(spec.benchmark, spec.scale, spec.pipeline),)
     if spec.stage == "compile":
         return (
-            build_spec(spec.benchmark, spec.scale),
-            profile_spec(spec.benchmark, spec.scale, profile_alu),
+            build_spec(spec.benchmark, spec.scale, spec.pipeline),
+            profile_spec(
+                spec.benchmark, spec.scale, profile_alu, spec.pipeline
+            ),
         )
     if spec.stage == "simulate":
         if spec.machine is None:
@@ -353,7 +392,7 @@ def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
         return (
             compile_spec(
                 spec.benchmark, spec.machine, spec.scale,
-                spec.spec_config, profile_alu,
+                spec.spec_config, profile_alu, spec.pipeline,
             ),
         )
     return ()
@@ -364,8 +403,8 @@ def job_for(spec: JobSpec) -> Job:
     return Job(spec, deps=default_deps(spec))
 
 
-def build_job(benchmark: str, scale: float = 1.0) -> Job:
-    return job_for(build_spec(benchmark, scale))
+def build_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:
+    return job_for(build_spec(benchmark, scale, **kw))
 
 
 def profile_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:
