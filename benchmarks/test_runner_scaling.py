@@ -8,25 +8,54 @@
 2. **Warm cache** — a fully cached ``all``-experiments run executes
    *zero* pipeline jobs (every stage served from disk), verified
    through the events log rather than timing, so it holds on any host.
+
+Timings route through :func:`repro.bench.harness.measure` (the same
+warmup/repeats/robust-stats primitive ``repro-bench run`` uses), and
+each test emits a machine-readable ``BENCH_*.json`` artifact into its
+tmp dir — or into ``$REPRO_BENCH_DIR`` when set, so a CI job can
+collect runner-scaling numbers straight from the benchmark suite.
 """
 
 from __future__ import annotations
 
 import os
-import time
+from pathlib import Path
 
 import pytest
 
 from conftest import BENCH_SCALE, runner_evaluation
 
+from repro.bench.harness import BenchConfig, make_artifact, measure, scenario_entry
+from repro.bench.harness import load_artifact, write_artifact
+from repro.bench.scenarios import ScenarioRun
 
-def _cold_warm_time(cache_root, jobs: int, experiments):
+
+def _artifact_dir(tmp_path) -> Path:
+    return Path(os.environ.get("REPRO_BENCH_DIR", tmp_path))
+
+
+def _emit(tmp_path, scenarios) -> Path:
+    """Write (and round-trip-check) a BENCH artifact for one test."""
+    config = BenchConfig(
+        preset="runner-scaling",
+        workload_scale=BENCH_SCALE,
+        repeats=1,
+        warmup=0,
+    )
+    path = write_artifact(make_artifact(config, scenarios), _artifact_dir(tmp_path))
+    assert load_artifact(path)["scenarios"].keys() == scenarios.keys()
+    return path
+
+
+def _cold_warm_run(cache_root, jobs: int, experiments):
     evaluation, runner = runner_evaluation(cache_root, jobs=jobs)
     with runner:
-        t0 = time.perf_counter()
         evaluation.warm(experiments)
-        elapsed = time.perf_counter() - t0
-    return elapsed, runner.events.summary()
+        summary = runner.events.summary()
+    return ScenarioRun(
+        counters={"jobs_executed": float(summary["executed"])},
+        extra={"runner": summary},
+    )
 
 
 @pytest.mark.skipif(
@@ -34,28 +63,73 @@ def _cold_warm_time(cache_root, jobs: int, experiments):
     reason="parallel speedup is only observable with more than one CPU",
 )
 def test_jobs4_cold_run_beats_serial(tmp_path):
-    serial_time, serial_summary = _cold_warm_time(
-        tmp_path / "serial", jobs=1, experiments=["table2", "table4"]
+    serial = measure(
+        lambda: _cold_warm_run(
+            tmp_path / "serial", jobs=1, experiments=["table2", "table4"]
+        ),
+        repeats=1,
+        warmup=0,
     )
-    parallel_time, parallel_summary = _cold_warm_time(
-        tmp_path / "parallel", jobs=4, experiments=["table2", "table4"]
+    parallel = measure(
+        lambda: _cold_warm_run(
+            tmp_path / "parallel", jobs=4, experiments=["table2", "table4"]
+        ),
+        repeats=1,
+        warmup=0,
+    )
+    _emit(
+        tmp_path,
+        {
+            "runner_cold_serial": scenario_entry(
+                serial.stats, serial.results, subsystems=("runner",)
+            ),
+            "runner_cold_jobs4": scenario_entry(
+                parallel.stats, parallel.results, subsystems=("runner",)
+            ),
+        },
     )
     # Identical job graphs, both cold.
+    serial_summary = serial.results[0].extra["runner"]
+    parallel_summary = parallel.results[0].extra["runner"]
     assert parallel_summary["executed"] == serial_summary["executed"]
-    assert parallel_time < serial_time
+    assert parallel.stats.median < serial.stats.median
 
 
 def test_warm_all_run_executes_zero_jobs(tmp_path):
     cache = tmp_path / "cache"
-    cold_time, cold = _cold_warm_time(cache, jobs=1, experiments=None)
-    assert cold["executed"] > 0
+    cold = measure(
+        lambda: _cold_warm_run(cache, jobs=1, experiments=None),
+        repeats=1,
+        warmup=0,
+    )
+    cold_summary = cold.results[0].extra["runner"]
+    assert cold_summary["executed"] > 0
 
-    warm_time, warm = _cold_warm_time(cache, jobs=1, experiments=None)
-    assert warm["executed"] == 0
-    assert warm["executed_by_stage"] == {}
-    assert warm["cache_hits"] == cold["executed"]
+    warm = measure(
+        lambda: _cold_warm_run(cache, jobs=1, experiments=None),
+        repeats=1,
+        warmup=0,
+    )
+    warm_summary = warm.results[0].extra["runner"]
+    path = _emit(
+        tmp_path,
+        {
+            "runner_cold": scenario_entry(
+                cold.stats, cold.results, subsystems=("runner",)
+            ),
+            "runner_warm": scenario_entry(
+                warm.stats, warm.results, subsystems=("runner",)
+            ),
+        },
+    )
+    artifact = load_artifact(path)
+    assert artifact["scenarios"]["runner_warm"]["wall_s"]["n"] == 1
+
+    assert warm_summary["executed"] == 0
+    assert warm_summary["executed_by_stage"] == {}
+    assert warm_summary["cache_hits"] == cold_summary["executed"]
     # Reading pickles must be much cheaper than re-running the pipeline.
-    assert warm_time < cold_time
+    assert warm.stats.median < cold.stats.median
 
 
 def test_threshold_sweep_shares_profiles(tmp_path):

@@ -1,0 +1,218 @@
+"""``repro-bench``: run, compare, and profile performance benchmarks.
+
+Usage::
+
+    repro-bench run                          # small preset, all scenarios
+    repro-bench run --scale medium --scenarios table2,runner_scaling
+    repro-bench run --repeats 5 --out-dir perf/
+    repro-bench compare BENCH_old.json BENCH_new.json --threshold 1.25
+    repro-bench compare old.json new.json --json     # machine-readable diff
+    repro-bench profile table2 --top 10 --sort cumulative
+    repro-bench list                         # registered scenarios
+
+``run`` writes a schema-versioned ``BENCH_<stamp>.json`` artifact (host
+and code fingerprints, per-scenario robust wall stats and throughput
+rates) to ``--out-dir`` (default: the current directory).  ``compare``
+exits nonzero iff a scenario's median wall time or simulated cycles/sec
+regresses beyond the threshold ratio.  ``profile`` attributes one
+scenario's wall time to hot functions, grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench import compare as compare_mod
+from repro.bench import harness, profiler
+from repro.bench.scenarios import SCENARIOS, BenchContext
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Performance observability for the repro pipeline: timed "
+            "benchmark scenarios, BENCH_*.json artifacts, regression "
+            "gating, and profile attribution."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="time every scenario and write a BENCH_*.json artifact"
+    )
+    run.add_argument(
+        "--scale",
+        choices=sorted(harness.PRESETS),
+        default="small",
+        help="preset: workload scale + repeats + warmup (default: small)",
+    )
+    run.add_argument(
+        "--scenarios",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="restrict to these scenarios (repeatable, comma-separable)",
+    )
+    run.add_argument(
+        "--repeats", type=int, default=None, help="override preset repeats"
+    )
+    run.add_argument(
+        "--warmup", type=int, default=None, help="override preset warmup runs"
+    )
+    run.add_argument(
+        "--benchmarks",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="restrict the workload suite (repeatable, comma-separable)",
+    )
+    run.add_argument(
+        "--out-dir",
+        metavar="PATH",
+        default=None,
+        help="artifact directory (default: current directory)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the artifact payload to stdout",
+    )
+
+    cmp_parser = sub.add_parser(
+        "compare",
+        help="diff two artifacts; nonzero exit on regression",
+    )
+    cmp_parser.add_argument("old", help="baseline BENCH_*.json")
+    cmp_parser.add_argument("new", help="candidate BENCH_*.json")
+    cmp_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=compare_mod.DEFAULT_THRESHOLD,
+        help=(
+            "allowed degradation ratio (>= 1.0); e.g. 1.25 tolerates 25%% "
+            f"slower (default: {compare_mod.DEFAULT_THRESHOLD})"
+        ),
+    )
+    cmp_parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+
+    prof = sub.add_parser(
+        "profile", help="attribute one scenario's wall time to hot functions"
+    )
+    prof.add_argument("scenario", help="scenario name (see 'repro-bench list')")
+    prof.add_argument(
+        "--scale",
+        choices=sorted(harness.PRESETS),
+        default="small",
+        help="workload scale preset (default: small)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=10, help="hot functions to report"
+    )
+    prof.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime"),
+        default="cumulative",
+        help="ranking key (default: cumulative)",
+    )
+    prof.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    sub.add_parser("list", help="list registered scenarios")
+    return parser
+
+
+def _split(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    names: List[str] = []
+    for chunk in values:
+        names.extend(name for name in chunk.split(",") if name)
+    return names or None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        config = harness.BenchConfig.from_preset(
+            args.scale,
+            scenarios=_split(args.scenarios),
+            repeats=args.repeats,
+            warmup=args.warmup,
+            benchmarks=_split(args.benchmarks),
+        )
+        artifact = harness.run_bench(
+            config, progress=lambda line: print(line, file=sys.stderr)
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    path = harness.write_artifact(
+        artifact, Path(args.out_dir) if args.out_dir else None
+    )
+    print(harness.main_banner(artifact))
+    print(f"wrote {path}")
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        old = harness.load_artifact(Path(args.old))
+        new = harness.load_artifact(Path(args.new))
+        result = compare_mod.compare_artifacts(
+            old, new, threshold=args.threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(compare_mod.render_report(result))
+    return result.exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    scale, _repeats, _warmup = harness.PRESETS[args.scale]
+    ctx = BenchContext(workload_scale=scale)
+    try:
+        report = profiler.profile_scenario(
+            args.scenario, ctx, top=args.top, sort=args.sort
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(profiler.render_profile(report))
+    return 0
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in SCENARIOS)
+    for name, scenario in SCENARIOS.items():
+        subsystems = ",".join(scenario.subsystems)
+        print(f"{name:<{width}}  [{subsystems}]  {scenario.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""Artifact diffing and regression gating.
+
+``repro-bench compare OLD NEW`` checks, per scenario present in the old
+artifact, two signals against a ratio threshold ``R`` (default
+:data:`DEFAULT_THRESHOLD`):
+
+* **median wall time** — regressed when ``new > R * old``;
+* **simulated cycles/sec** (when both artifacts carry the rate) —
+  regressed when ``new < old / R``.
+
+The command exits nonzero iff at least one scenario regressed (or a
+scenario the baseline covers disappeared — an unverifiable perf claim
+counts as a failure).  Scenarios only present in the new artifact are
+reported as informational.  Improvements never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Allowed degradation ratio: 1.25 = up to 25% slower passes.
+DEFAULT_THRESHOLD = 1.25
+
+#: The throughput rate the gate watches (ISSUE: "cycles/sec").
+RATE_KEY = "sim_cycles_per_s"
+
+
+@dataclass
+class ScenarioComparison:
+    """Old-vs-new verdict for one scenario."""
+
+    name: str
+    status: str  # "ok" | "regressed" | "missing" | "new"
+    wall_old: Optional[float] = None
+    wall_new: Optional[float] = None
+    wall_ratio: Optional[float] = None
+    wall_regressed: bool = False
+    rate_old: Optional[float] = None
+    rate_new: Optional[float] = None
+    rate_ratio: Optional[float] = None
+    rate_regressed: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "wall_old": self.wall_old,
+            "wall_new": self.wall_new,
+            "wall_ratio": self.wall_ratio,
+            "wall_regressed": self.wall_regressed,
+            "rate_old": self.rate_old,
+            "rate_new": self.rate_new,
+            "rate_ratio": self.rate_ratio,
+            "rate_regressed": self.rate_regressed,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class CompareResult:
+    """Whole-artifact comparison."""
+
+    threshold: float
+    scenarios: List[ScenarioComparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return any(
+            s.status in ("regressed", "missing") for s in self.scenarios
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressed else 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+            "scenarios": [s.as_dict() for s in self.scenarios],
+            "notes": list(self.notes),
+        }
+
+
+def _wall_median(entry: Mapping[str, Any]) -> Optional[float]:
+    wall = entry.get("wall_s")
+    if isinstance(wall, Mapping) and isinstance(
+        wall.get("median"), (int, float)
+    ):
+        return float(wall["median"])
+    return None
+
+
+def _rate(entry: Mapping[str, Any]) -> Optional[float]:
+    rates = entry.get("rates")
+    if isinstance(rates, Mapping) and isinstance(
+        rates.get(RATE_KEY), (int, float)
+    ):
+        return float(rates[RATE_KEY])
+    return None
+
+
+def compare_artifacts(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    if threshold < 1.0:
+        raise ValueError("threshold is a degradation ratio and must be >= 1.0")
+    result = CompareResult(threshold=threshold)
+    for fingerprint in ("code_version", "pipeline_fingerprint"):
+        if old.get(fingerprint) != new.get(fingerprint):
+            result.notes.append(
+                f"{fingerprint} differs: {old.get(fingerprint)!r} -> "
+                f"{new.get(fingerprint)!r}"
+            )
+    if old.get("host") != new.get("host"):
+        result.notes.append(
+            "host fingerprints differ; absolute timings are not directly "
+            "comparable"
+        )
+
+    old_scenarios: Mapping[str, Any] = old.get("scenarios", {})
+    new_scenarios: Mapping[str, Any] = new.get("scenarios", {})
+    for name, old_entry in old_scenarios.items():
+        comparison = ScenarioComparison(name=name, status="ok")
+        new_entry = new_scenarios.get(name)
+        if new_entry is None:
+            comparison.status = "missing"
+            comparison.notes.append("scenario absent from the new artifact")
+            result.scenarios.append(comparison)
+            continue
+
+        comparison.wall_old = _wall_median(old_entry)
+        comparison.wall_new = _wall_median(new_entry)
+        if comparison.wall_old and comparison.wall_new is not None:
+            comparison.wall_ratio = comparison.wall_new / comparison.wall_old
+            comparison.wall_regressed = comparison.wall_ratio > threshold
+
+        comparison.rate_old = _rate(old_entry)
+        comparison.rate_new = _rate(new_entry)
+        if comparison.rate_old and comparison.rate_new is not None:
+            comparison.rate_ratio = comparison.rate_new / comparison.rate_old
+            comparison.rate_regressed = (
+                comparison.rate_ratio < 1.0 / threshold
+            )
+
+        if comparison.wall_regressed or comparison.rate_regressed:
+            comparison.status = "regressed"
+        result.scenarios.append(comparison)
+
+    for name in new_scenarios:
+        if name not in old_scenarios:
+            result.scenarios.append(
+                ScenarioComparison(
+                    name=name,
+                    status="new",
+                    notes=["scenario absent from the old artifact"],
+                )
+            )
+    return result
+
+
+def render_report(result: CompareResult) -> str:
+    """Human-readable comparison table."""
+    lines = [
+        f"repro-bench compare (threshold {result.threshold:.2f}x)",
+    ]
+    lines.extend(f"note: {note}" for note in result.notes)
+    header = (
+        f"{'scenario':<20} {'wall old':>10} {'wall new':>10} {'ratio':>7} "
+        f"{'cyc/s old':>12} {'cyc/s new':>12} {'ratio':>7}  verdict"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def fmt(value: Optional[float], pattern: str) -> str:
+        return pattern.format(value) if value is not None else "-"
+
+    for s in result.scenarios:
+        verdict = {
+            "ok": "ok",
+            "regressed": "REGRESSED",
+            "missing": "MISSING",
+            "new": "new",
+        }[s.status]
+        flags = []
+        if s.wall_regressed:
+            flags.append("wall")
+        if s.rate_regressed:
+            flags.append("cycles/s")
+        if flags:
+            verdict += f" ({', '.join(flags)})"
+        lines.append(
+            f"{s.name:<20} "
+            f"{fmt(s.wall_old, '{:>10.4f}'):>10} "
+            f"{fmt(s.wall_new, '{:>10.4f}'):>10} "
+            f"{fmt(s.wall_ratio, '{:>7.3f}'):>7} "
+            f"{fmt(s.rate_old, '{:>12,.0f}'):>12} "
+            f"{fmt(s.rate_new, '{:>12,.0f}'):>12} "
+            f"{fmt(s.rate_ratio, '{:>7.3f}'):>7}  {verdict}"
+        )
+    lines.append(
+        "result: "
+        + ("REGRESSION detected" if result.regressed else "no regression")
+    )
+    return "\n".join(lines)

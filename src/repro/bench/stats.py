@@ -1,0 +1,113 @@
+"""Robust statistics for benchmark timing samples.
+
+Wall-clock samples from a shared host are contaminated by scheduler
+noise, so everything downstream of the harness works from the median
+and the interquartile range, with Tukey-fence outlier rejection
+(1.5 x IQR beyond the quartiles) applied before the summary stats are
+computed.  The raw samples always travel with the summary so a later
+reader can re-derive anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Tukey fence multiplier used by :func:`robust_stats`.
+TUKEY_K = 1.5
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of ``samples``; ``q`` in [0, 1]."""
+    if not samples:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile fraction must be in [0, 1]")
+    ordered = sorted(samples)
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def median(samples: Sequence[float]) -> float:
+    return quantile(samples, 0.5)
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of one timed series after outlier rejection."""
+
+    n: int
+    median: float
+    mean: float
+    iqr: float
+    min: float
+    max: float
+    outliers_rejected: int
+    samples: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n": self.n,
+            "median": self.median,
+            "mean": self.mean,
+            "iqr": self.iqr,
+            "min": self.min,
+            "max": self.max,
+            "outliers_rejected": self.outliers_rejected,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SampleStats":
+        return cls(
+            n=int(data["n"]),
+            median=float(data["median"]),
+            mean=float(data["mean"]),
+            iqr=float(data["iqr"]),
+            min=float(data["min"]),
+            max=float(data["max"]),
+            outliers_rejected=int(data.get("outliers_rejected", 0)),
+            samples=[float(v) for v in data.get("samples", [])],
+        )
+
+
+def reject_outliers(samples: Sequence[float], k: float = TUKEY_K) -> List[float]:
+    """Samples inside the Tukey fences ``[q1 - k*iqr, q3 + k*iqr]``.
+
+    With fewer than four samples the quartiles are too unstable to
+    trust, so nothing is rejected.
+    """
+    if len(samples) < 4:
+        return list(samples)
+    q1 = quantile(samples, 0.25)
+    q3 = quantile(samples, 0.75)
+    spread = q3 - q1
+    low = q1 - k * spread
+    high = q3 + k * spread
+    kept = [s for s in samples if low <= s <= high]
+    # Degenerate spread (all-equal samples) must keep everything.
+    return kept if kept else list(samples)
+
+
+def robust_stats(samples: Sequence[float]) -> SampleStats:
+    """Median/IQR summary of ``samples`` after Tukey outlier rejection.
+
+    The returned ``samples`` field holds the *raw* series (pre-
+    rejection); ``n`` and the summary numbers describe the kept subset.
+    """
+    if not samples:
+        raise ValueError("robust_stats of an empty sequence")
+    kept = reject_outliers(samples)
+    return SampleStats(
+        n=len(kept),
+        median=median(kept),
+        mean=sum(kept) / len(kept),
+        iqr=quantile(kept, 0.75) - quantile(kept, 0.25),
+        min=min(kept),
+        max=max(kept),
+        outliers_rejected=len(samples) - len(kept),
+        samples=list(samples),
+    )

@@ -312,6 +312,23 @@ class Evaluation:
 
     # -- observability --------------------------------------------------------
 
+    def seed_from(self, other: "Evaluation") -> "Evaluation":
+        """Adopt another evaluation's cached programs and profiles.
+
+        Lets a benchmark harness pay the (expensive, compiler-unrelated)
+        build/profile stages once and then time compile/simulate from a
+        cold start repeatedly.  Compilations and simulations are *not*
+        copied — those are the stages being measured.
+        """
+        self._programs.update(other._programs)
+        self._profiles.update(other._profiles)
+        return self
+
+    @property
+    def simulation_results(self) -> List[ProgramSimResult]:
+        """Every simulation result this evaluation has produced so far."""
+        return list(self._simulations.values())
+
     def metrics_snapshot(self):
         """Merge of every collected simulation metrics snapshot so far.
 

@@ -6,7 +6,8 @@ The simulator and the experiment pipeline are instrumented against a
 * **counters** accumulate integer increments (``cce.flush``,
   ``vliw.stall_cycles``);
 * **gauges** record a level and keep the maximum seen (``ovb.size``);
-* **histograms** keep a running summary — count, total, min, max — of
+* **histograms** keep a running summary — count, total, min, max, and
+  approximate percentiles from a bounded deterministic reservoir — of
   observed values (``cce.ccb_occupancy``).
 
 Metric keys are a dotted name plus an optional label rendered as
@@ -29,7 +30,13 @@ registry, ``merged()`` snapshots across blocks or benchmarks,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Upper bound on the per-histogram percentile reservoir.  Overflow is
+#: handled by deterministic systematic decimation (keep evenly spaced
+#: order statistics), so percentile estimates stay reproducible run to
+#: run — no random sampling anywhere.
+RESERVOIR_CAP = 512
 
 
 def metric_key(name: str, label: Optional[str] = None) -> str:
@@ -39,39 +46,97 @@ def metric_key(name: str, label: Optional[str] = None) -> str:
     return f"{name}{{{label}}}"
 
 
+def _decimate(samples: List[float], cap: int = RESERVOIR_CAP) -> List[float]:
+    """Shrink an over-full reservoir to ``cap`` evenly spaced order
+    statistics (always keeping the extremes), preserving quantiles."""
+    if len(samples) <= cap:
+        return samples
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return [ordered[round(i * last / (cap - 1))] for i in range(cap)]
+
+
 @dataclass
 class HistogramSummary:
-    """Running summary of one observed series."""
+    """Running summary of one observed series.
+
+    Exact count/total/min/max plus a bounded reservoir of observed
+    values for approximate percentiles (:meth:`percentile`, ``p50`` /
+    ``p95`` / ``p99``).  The reservoir survives :meth:`merged`,
+    :meth:`scaled` and the :meth:`as_dict`/:meth:`from_dict` round-trip;
+    merging pools both reservoirs and re-decimates, which treats every
+    kept sample with equal weight (an approximation once either side has
+    decimated).
+    """
 
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    samples: List[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.samples.append(value)
+        if len(self.samples) > RESERVOIR_CAP:
+            self.samples = _decimate(self.samples)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-th percentile (``0 <= q <= 100``) from the
+        reservoir; ``None`` for an empty series."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = q / 100.0 * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99.0)
+
+    def copy(self) -> "HistogramSummary":
+        return HistogramSummary(
+            self.count, self.total, self.min, self.max, list(self.samples)
+        )
+
     def merged(self, other: "HistogramSummary") -> "HistogramSummary":
         if other.count == 0:
-            return HistogramSummary(self.count, self.total, self.min, self.max)
+            return self.copy()
         if self.count == 0:
-            return HistogramSummary(other.count, other.total, other.min, other.max)
+            return other.copy()
         return HistogramSummary(
             count=self.count + other.count,
             total=self.total + other.total,
             min=min(self.min, other.min),
             max=max(self.max, other.max),
+            samples=_decimate(self.samples + other.samples),
         )
 
     def scaled(self, factor: int) -> "HistogramSummary":
-        """The summary of this series repeated ``factor`` times."""
+        """The summary of this series repeated ``factor`` times.
+
+        Percentiles of a population repeated whole are the population's
+        percentiles, so the reservoir carries over unchanged."""
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         if factor == 0 or self.count == 0:
@@ -81,6 +146,7 @@ class HistogramSummary:
             total=self.total * factor,
             min=self.min,
             max=self.max,
+            samples=list(self.samples),
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -90,6 +156,10 @@ class HistogramSummary:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "samples": list(self.samples),
         }
 
     @classmethod
@@ -99,6 +169,7 @@ class HistogramSummary:
             total=float(data.get("total", 0.0)),
             min=data.get("min"),
             max=data.get("max"),
+            samples=[float(v) for v in data.get("samples", [])],
         )
 
 
@@ -143,7 +214,7 @@ class MetricsSnapshot:
         gauges = dict(self.gauges)
         for key, value in other.gauges.items():
             gauges[key] = max(gauges[key], value) if key in gauges else value
-        histograms = {k: v.merged(HistogramSummary()) for k, v in self.histograms.items()}
+        histograms = {k: v.copy() for k, v in self.histograms.items()}
         for key, value in other.histograms.items():
             histograms[key] = histograms.get(key, HistogramSummary()).merged(value)
         return MetricsSnapshot(counters, gauges, histograms)
@@ -256,10 +327,7 @@ class MetricsRegistry:
         return MetricsSnapshot(
             counters=dict(self._counters),
             gauges=dict(self._gauges),
-            histograms={
-                k: HistogramSummary(v.count, v.total, v.min, v.max)
-                for k, v in self._histograms.items()
-            },
+            histograms={k: v.copy() for k, v in self._histograms.items()},
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,155 @@
+"""Harness measurement, artifact round-trips, and regression gating."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_artifacts, render_report
+from repro.bench.harness import (
+    ARTIFACT_PREFIX,
+    SCHEMA,
+    BenchConfig,
+    load_artifact,
+    make_artifact,
+    measure,
+    scenario_entry,
+    write_artifact,
+)
+from repro.bench.scenarios import ScenarioRun
+from repro.bench.stats import robust_stats
+
+
+def _entry(wall_samples, counters=None, extra=None):
+    runs = [
+        ScenarioRun(counters=dict(counters or {}), extra=dict(extra or {}))
+        for _ in wall_samples
+    ]
+    return scenario_entry(robust_stats(list(wall_samples)), runs)
+
+
+def _artifact(scenarios, **overrides):
+    config = BenchConfig(preset="test", workload_scale=0.1, repeats=3, warmup=0)
+    artifact = make_artifact(config, scenarios)
+    artifact.update(overrides)
+    return artifact
+
+
+class TestMeasure:
+    def test_counts_calls(self):
+        calls = []
+        result = measure(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert result.stats.n == 3
+        assert len(result.results) == 3
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestScenarioEntry:
+    def test_rates_derived_from_counters(self):
+        stats = robust_stats([2.0, 2.0, 2.0])
+        runs = [ScenarioRun(counters={"sim_cycles": 100.0})] * 3
+        entry = scenario_entry(stats, runs)
+        assert entry["rates"]["sim_cycles_per_s"] == pytest.approx(50.0)
+        assert entry["counters_stable"] is True
+
+    def test_unstable_counters_flagged(self):
+        stats = robust_stats([1.0, 1.0])
+        runs = [
+            ScenarioRun(counters={"c": 1.0}),
+            ScenarioRun(counters={"c": 2.0}),
+        ]
+        assert scenario_entry(stats, runs)["counters_stable"] is False
+
+
+class TestArtifactIO:
+    def test_write_load_roundtrip(self, tmp_path):
+        artifact = _artifact({"s": _entry([1.0, 1.1, 0.9])})
+        path = write_artifact(artifact, tmp_path)
+        assert path.name.startswith(ARTIFACT_PREFIX)
+        loaded = load_artifact(path)
+        assert loaded["schema"] == SCHEMA
+        assert loaded["scenarios"]["s"]["wall_s"]["n"] == 3
+        assert loaded["code_version"]
+        assert loaded["pipeline_fingerprint"]
+        assert loaded["host"]["python"]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "scenarios": {}}))
+        with pytest.raises(ValueError, match="not a repro.bench"):
+            load_artifact(path)
+
+    def test_load_rejects_missing_scenarios(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError, match="scenarios"):
+            load_artifact(path)
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        old = _artifact({"s": _entry([1.0], {"sim_cycles": 100.0})})
+        new = _artifact({"s": _entry([1.1], {"sim_cycles": 100.0})})
+        result = compare_artifacts(old, new, threshold=1.25)
+        assert not result.regressed
+        assert result.exit_code == 0
+
+    def test_wall_regression_detected(self):
+        old = _artifact({"s": _entry([1.0])})
+        new = _artifact({"s": _entry([2.0])})
+        result = compare_artifacts(old, new, threshold=1.25)
+        assert result.regressed
+        assert result.exit_code == 1
+        (comparison,) = result.scenarios
+        assert comparison.wall_regressed
+        assert comparison.wall_ratio == pytest.approx(2.0)
+
+    def test_rate_regression_detected(self):
+        # Same wall time, but far fewer simulated cycles per second.
+        old = _artifact({"s": _entry([1.0], {"sim_cycles": 1000.0})})
+        new = _artifact({"s": _entry([1.0], {"sim_cycles": 100.0})})
+        result = compare_artifacts(old, new, threshold=1.25)
+        (comparison,) = result.scenarios
+        assert comparison.rate_regressed
+        assert result.exit_code == 1
+
+    def test_improvement_passes(self):
+        old = _artifact({"s": _entry([2.0], {"sim_cycles": 100.0})})
+        new = _artifact({"s": _entry([1.0], {"sim_cycles": 100.0})})
+        assert compare_artifacts(old, new).exit_code == 0
+
+    def test_missing_scenario_fails_gate(self):
+        old = _artifact({"s": _entry([1.0]), "t": _entry([1.0])})
+        new = _artifact({"s": _entry([1.0])})
+        result = compare_artifacts(old, new)
+        assert result.regressed
+        statuses = {c.name: c.status for c in result.scenarios}
+        assert statuses["t"] == "missing"
+
+    def test_new_scenario_is_informational(self):
+        old = _artifact({"s": _entry([1.0])})
+        new = _artifact({"s": _entry([1.0]), "t": _entry([1.0])})
+        result = compare_artifacts(old, new)
+        assert not result.regressed
+        statuses = {c.name: c.status for c in result.scenarios}
+        assert statuses["t"] == "new"
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            compare_artifacts(_artifact({}), _artifact({}), threshold=0.5)
+
+    def test_fingerprint_drift_noted(self):
+        old = _artifact({}, code_version="1")
+        new = _artifact({}, code_version="2")
+        result = compare_artifacts(old, new)
+        assert any("code_version" in note for note in result.notes)
+
+    def test_report_renders(self):
+        old = _artifact({"s": _entry([1.0], {"sim_cycles": 100.0})})
+        new = _artifact({"s": _entry([2.0], {"sim_cycles": 40.0})})
+        report = render_report(compare_artifacts(old, new))
+        assert "REGRESSED" in report
+        assert "wall" in report and "cycles/s" in report

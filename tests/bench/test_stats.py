@@ -1,0 +1,73 @@
+"""Robust-statistics primitives: quantiles, Tukey rejection, summaries."""
+
+import pytest
+
+from repro.bench.stats import (
+    SampleStats,
+    median,
+    quantile,
+    reject_outliers,
+    robust_stats,
+)
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 1.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestRejectOutliers:
+    def test_small_samples_untouched(self):
+        assert reject_outliers([1.0, 100.0, 1.0]) == [1.0, 100.0, 1.0]
+
+    def test_spike_rejected(self):
+        samples = [1.0, 1.1, 0.9, 1.0, 1.05, 50.0]
+        kept = reject_outliers(samples)
+        assert 50.0 not in kept
+        assert len(kept) == 5
+
+    def test_all_equal_kept(self):
+        samples = [2.0] * 6
+        assert reject_outliers(samples) == samples
+
+
+class TestRobustStats:
+    def test_summary_fields(self):
+        stats = robust_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.n == 5
+        assert stats.median == 3.0
+        assert stats.mean == 3.0
+        assert stats.min == 1.0 and stats.max == 5.0
+        assert stats.outliers_rejected == 0
+        assert stats.samples == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_outlier_excluded_from_summary_but_kept_raw(self):
+        stats = robust_stats([1.0, 1.1, 0.9, 1.0, 1.05, 50.0])
+        assert stats.outliers_rejected == 1
+        assert stats.max < 50.0
+        assert 50.0 in stats.samples
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_stats([])
+
+    def test_dict_roundtrip(self):
+        stats = robust_stats([1.0, 2.0, 3.0, 4.0])
+        back = SampleStats.from_dict(stats.as_dict())
+        assert back == stats
