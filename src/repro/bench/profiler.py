@@ -38,6 +38,7 @@ SUBSYSTEM_OF: Dict[str, str] = {
     "obs": "obs",
     "bench": "obs",
     "profiling": "profiling",
+    "trace": "trace",
     "predict": "core",
     "machine": "core",
     "workloads": "workloads",

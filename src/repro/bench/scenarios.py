@@ -258,6 +258,71 @@ def _run_runner_scaling(ctx: BenchContext, state: Any) -> ScenarioRun:
     )
 
 
+#: Workloads the interpreter hot-loop scenario runs end to end.
+HOTLOOP_BENCHMARKS = ("compress", "li")
+#: Thresholds the replayed sweep visits (the paper's 0.65 plus both
+#: ablation points), enough sweep points for replay to amortise capture.
+SWEEP_REPLAY_THRESHOLDS = (0.5, 0.65, 0.8)
+
+
+def _prepare_hotloop(ctx: BenchContext) -> Dict[str, Any]:
+    """Build the hot-loop programs untimed so the scenario times the
+    interpreter alone, not the front end."""
+    from repro.workloads.suite import load_benchmark
+
+    return {
+        name: load_benchmark(name, scale=ctx.workload_scale)
+        for name in HOTLOOP_BENCHMARKS
+    }
+
+
+def _run_interp_hotloop(ctx: BenchContext, state: Dict[str, Any]) -> ScenarioRun:
+    """Observer-less architectural interpretation — the block-specialized
+    fast path with the no-notification branch."""
+    from repro.profiling.interpreter import Interpreter
+
+    ops = 0
+    blocks = 0
+    for program in state.values():
+        result = Interpreter().run(program)
+        ops += result.dynamic_operations
+        blocks += result.dynamic_blocks
+    return ScenarioRun(
+        counters={"interp_ops": float(ops), "interp_blocks": float(blocks)}
+    )
+
+
+def _run_sweep_replay(ctx: BenchContext, state: Any) -> ScenarioRun:
+    """A threshold sweep against a fresh trace store: one architectural
+    interpretation per benchmark, replayed at every other sweep point."""
+    from repro.trace import TraceStore
+
+    store = TraceStore()
+    counters: Dict[str, float] = {
+        "sim_cycles": 0.0,
+        "ops_retired": 0.0,
+        "dynamic_blocks": 0.0,
+    }
+    for threshold in SWEEP_REPLAY_THRESHOLDS:
+        settings = EvaluationSettings(scale=ctx.workload_scale)
+        settings = settings.with_threshold(threshold)
+        settings = settings.with_benchmarks(list(ABLATION_BENCHMARKS))
+        evaluation = Evaluation(
+            settings, collect_metrics=True, trace_store=store
+        )
+        for name in evaluation.benchmarks:
+            evaluation.simulation(name, evaluation.machine_4w)
+        for key, value in engine_counters(evaluation).items():
+            counters[key] += value
+    return ScenarioRun(
+        counters=counters,
+        extra={
+            "trace_captures": store.captures,
+            "trace_hits": store.hits,
+        },
+    )
+
+
 register_scenario(
     BenchScenario(
         name="table2",
@@ -314,11 +379,34 @@ register_scenario(
         run=_run_runner_scaling,
     )
 )
+register_scenario(
+    BenchScenario(
+        name="interp_hotloop",
+        description=f"Observer-less architectural interpretation of "
+        f"{HOTLOOP_BENCHMARKS} (programs built untimed): the "
+        "block-specialized dispatch fast path alone",
+        subsystems=("profiling",),
+        run=_run_interp_hotloop,
+        prepare=_prepare_hotloop,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="sweep_replay",
+        description=f"Threshold sweep {SWEEP_REPLAY_THRESHOLDS} over "
+        f"{ABLATION_BENCHMARKS} against a fresh trace store: capture "
+        "once, replay every other sweep point",
+        subsystems=("trace", "core", "compiler"),
+        run=_run_sweep_replay,
+    )
+)
 
 # Re-export for harness convenience.
 __all__ = [
     "ABLATION_BENCHMARKS",
     "ABLATION_THRESHOLDS",
+    "HOTLOOP_BENCHMARKS",
+    "SWEEP_REPLAY_THRESHOLDS",
     "BenchContext",
     "BenchScenario",
     "SCENARIOS",

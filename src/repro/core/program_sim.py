@@ -363,6 +363,7 @@ def simulate_program(
     table_capacity: Optional[int] = None,
     confidence: Optional[ConfidenceEstimator] = None,
     collect_metrics: bool = False,
+    trace=None,
 ) -> ProgramSimResult:
     """Execute the program once, timing all three machines.
 
@@ -385,6 +386,14 @@ def simulate_program(
             hit/miss counters, merged per-block dual-engine metrics,
             icache counters) into ``result.metrics``.  Off by default;
             timing results are identical either way.
+        trace: a :class:`~repro.trace.ValueTrace` captured from this
+            compilation's program.  When given, the simulation observer
+            is driven from the recorded value stream instead of a live
+            interpretation — results are identical because the observer
+            consumes only block entries and traced-op result values.
+            The trace must cover every predicted load of the
+            compilation; :class:`~repro.trace.TraceMismatch` is raised
+            otherwise.
     """
     result = ProgramSimResult(
         program_name=compilation.program.name,
@@ -407,9 +416,39 @@ def simulate_program(
         confidence=confidence,
         metrics=registry,
     )
-    Interpreter(max_operations=max_operations).run(
-        compilation.program, observers=[observer]
-    )
+    if trace is not None:
+        from repro.trace.format import TRACED_OPCODES, TraceMismatch
+        from repro.trace.replay import replay_trace
+
+        # Static coverage check: replay only notifies traced ops, so
+        # every load (or ALU op) the compilation predicts must be in the
+        # traced set — otherwise its outcomes would silently default to
+        # "mispredicted" instead of being scored against real values.
+        function = compilation.program.main
+        for label, comp in compilation.blocks.items():
+            if not comp.speculated:
+                continue
+            traced_ids = {
+                op.op_id
+                for op in function.block(label).operations
+                if op.opcode in TRACED_OPCODES
+            }
+            missing = set(comp.predicted_load_ids) - traced_ids
+            if missing:
+                raise TraceMismatch(
+                    f"block {label!r} of {compilation.program.name!r} "
+                    f"predicts untraced operation(s) {sorted(missing)}"
+                )
+        replay_trace(
+            trace,
+            compilation.program,
+            observers=[observer],
+            max_operations=max_operations,
+        )
+    else:
+        Interpreter(max_operations=max_operations).run(
+            compilation.program, observers=[observer]
+        )
     observer.finish()
     if table is not None:
         result.table_tag_misses = table.tag_misses

@@ -78,6 +78,7 @@ class Evaluation:
         settings: Optional[EvaluationSettings] = None,
         runner: Optional["Runner"] = None,
         collect_metrics: bool = False,
+        trace_store=None,
     ):
         self.settings = settings or EvaluationSettings()
         self.runner = runner
@@ -86,6 +87,13 @@ class Evaluation:
         #: :meth:`metrics_snapshot`.  Off by default — simulate job keys
         #: and timing outputs are unchanged.
         self.collect_metrics = collect_metrics
+        #: Trace cache for runner-less execution (the runner path caches
+        #: traces as jobs instead).  ``None`` uses the process-wide
+        #: default store, so *separate* Evaluation instances over the
+        #: same built program — a threshold sweep — still interpret it
+        #: only once.  Pass a fresh :class:`repro.trace.TraceStore` to
+        #: isolate, or set ``REPRO_NO_TRACE=1`` to disable replay.
+        self.trace_store = trace_store
         self._programs: Dict[str, Program] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
@@ -98,6 +106,20 @@ class Evaluation:
         ] = {}
 
     # -- pipeline stages ----------------------------------------------------
+
+    def _trace_of(self, program: Program):
+        """The cached value trace for ``program``, or ``None``.
+
+        Capture-on-first-use through the configured (or default
+        process-wide) :class:`repro.trace.TraceStore`; disabled entirely
+        by ``REPRO_NO_TRACE=1``.
+        """
+        from repro.trace.store import default_store, replay_enabled
+
+        if not replay_enabled():
+            return None
+        store = self.trace_store if self.trace_store is not None else default_store()
+        return store.get_or_capture(program)
 
     def program(self, name: str) -> Program:
         if name not in self._programs:
@@ -129,7 +151,10 @@ class Evaluation:
                     profile_job(name, scale=self.settings.scale)
                 )
             else:
-                self._profiles[name] = profile_program(self.program(name))
+                program = self.program(name)
+                self._profiles[name] = profile_program(
+                    program, trace=self._trace_of(program)
+                )
         return self._profiles[name]
 
     def compilation(
@@ -196,8 +221,9 @@ class Evaluation:
                     )
                 )
             else:
+                program = self.variant_program(name, pipeline)
                 self._variant_profiles[key] = profile_program(
-                    self.variant_program(name, pipeline)
+                    program, trace=self._trace_of(program)
                 )
         return self._variant_profiles[key]
 
@@ -249,11 +275,26 @@ class Evaluation:
                     )
                 )
             else:
-                self._simulations[key] = simulate_program(
-                    self.compilation(name, machine),
-                    model_icache=model_icache,
-                    collect_metrics=self.collect_metrics,
-                )
+                from repro.trace.format import TraceMismatch
+
+                compilation = self.compilation(name, machine)
+                trace = self._trace_of(compilation.program)
+                if trace is not None:
+                    try:
+                        self._simulations[key] = simulate_program(
+                            compilation,
+                            model_icache=model_icache,
+                            collect_metrics=self.collect_metrics,
+                            trace=trace,
+                        )
+                    except TraceMismatch:
+                        trace = None
+                if trace is None:
+                    self._simulations[key] = simulate_program(
+                        compilation,
+                        model_icache=model_icache,
+                        collect_metrics=self.collect_metrics,
+                    )
         return self._simulations[key]
 
     # -- runner integration -------------------------------------------------

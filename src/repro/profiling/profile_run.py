@@ -31,11 +31,17 @@ def profile_program(
     program: Program,
     max_operations: int = 5_000_000,
     profile_alu: bool = False,
+    trace=None,
 ) -> ProfileData:
     """Run ``program`` once and collect both profiles.
 
     ``profile_alu=True`` additionally value-profiles long-latency ALU
     results (mul/div/...), enabling ``SpeculationConfig.predict_alu``.
+
+    ``trace`` (a :class:`~repro.trace.ValueTrace` captured from this
+    program) replays the recorded value stream instead of interpreting —
+    the profilers consume only block entries and traced-op results, both
+    of which the trace records exactly, so the profile is identical.
     """
     from repro.profiling.value_profile import LONG_LATENCY_OPCODES
 
@@ -43,9 +49,17 @@ def profile_program(
     value_profiler = ValueProfiler(
         extra_opcodes=LONG_LATENCY_OPCODES if profile_alu else ()
     )
-    result = Interpreter(max_operations=max_operations).run(
-        program, observers=[block_profiler, value_profiler]
-    )
+    observers = [block_profiler, value_profiler]
+    if trace is not None:
+        from repro.trace.replay import replay_trace
+
+        result = replay_trace(
+            trace, program, observers=observers, max_operations=max_operations
+        )
+    else:
+        result = Interpreter(max_operations=max_operations).run(
+            program, observers=observers
+        )
     return ProfileData(
         program_name=program.name,
         blocks=block_profiler.profile(),

@@ -41,6 +41,8 @@ from repro.runner.jobs import (
     register_stage,
     simulate_job,
     simulate_spec,
+    trace_job,
+    trace_spec,
 )
 
 __all__ = [
@@ -74,4 +76,6 @@ __all__ = [
     "resolve_workers",
     "simulate_job",
     "simulate_spec",
+    "trace_job",
+    "trace_spec",
 ]

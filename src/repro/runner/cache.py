@@ -50,6 +50,9 @@ class CacheStats:
     entries: int = 0
     total_bytes: int = 0
     by_stage: Dict[str, int] = field(default_factory=dict)
+    #: On-disk bytes per stage — traces and compilations dominate, and
+    #: this is what says so without spelunking the shard directories.
+    bytes_by_stage: Dict[str, int] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
@@ -59,6 +62,7 @@ class CacheStats:
             "entries": self.entries,
             "total_bytes": self.total_bytes,
             "by_stage": dict(sorted(self.by_stage.items())),
+            "bytes_by_stage": dict(sorted(self.bytes_by_stage.items())),
             "session_hits": self.hits,
             "session_misses": self.misses,
         }
@@ -69,7 +73,8 @@ class CacheStats:
             f"entries:    {self.entries} ({self.total_bytes / 1024:.1f} KiB)",
         ]
         for stage, count in sorted(self.by_stage.items()):
-            lines.append(f"  {stage:10s} {count}")
+            size = self.bytes_by_stage.get(stage, 0)
+            lines.append(f"  {stage:10s} {count} ({size / 1024:.1f} KiB)")
         lines.append(f"session:    {self.hits} hits / {self.misses} misses")
         return "\n".join(lines)
 
@@ -164,13 +169,17 @@ class DiskCache:
             if not pkl.exists():
                 continue
             stats.entries += 1
-            stats.total_bytes += pkl.stat().st_size
+            size = pkl.stat().st_size
+            stats.total_bytes += size
             try:
                 meta = json.loads(manifest_path.read_text())
                 stage = str(meta.get("stage", "unknown"))
             except (OSError, json.JSONDecodeError):
                 stage = "unknown"
             stats.by_stage[stage] = stats.by_stage.get(stage, 0) + 1
+            stats.bytes_by_stage[stage] = (
+                stats.bytes_by_stage.get(stage, 0) + size
+            )
         return stats
 
     def clear(self) -> int:

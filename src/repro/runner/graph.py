@@ -6,6 +6,12 @@ x three stages name the same profile job many times.  :class:`JobGraph`
 collapses all of that by content key and hands the executor *waves*:
 batches of jobs whose dependencies are all satisfied by earlier waves,
 so every job inside one wave can run concurrently.
+
+Content-key dedup is also what fans one ``trace`` job out to a whole
+sweep: the trace spec excludes the machine and speculation config, so
+every simulate job of a threshold/machine ablation materialises the
+*same* trace dependency, and the closure collapses the N copies into one
+interpretation shared by N replays.
 """
 
 from __future__ import annotations

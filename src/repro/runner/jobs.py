@@ -17,10 +17,19 @@ add stages without touching the executor.  The built-in stages mirror
 stage      inputs                           produces
 ========== ================================ ============================
 build      benchmark, scale                 ``Program``
-profile    build                            ``ProfileData``
+trace      build                            ``ValueTrace``
+profile    build + trace                    ``ProfileData``
 compile    build + profile + machine/config ``ProgramCompilation``
-simulate   compile (+ model_icache)         ``ProgramSimResult``
+simulate   compile + trace (+ model_icache) ``ProgramSimResult``
 ========== ================================ ============================
+
+``trace`` interprets the built program exactly once and records the
+value stream (:mod:`repro.trace`); ``profile`` and ``simulate`` then
+*replay* it instead of re-interpreting.  Like ``profile``, the trace key
+excludes the machine and speculation config, so every sweep point of a
+threshold/predictor/machine ablation shares one cached interpretation.
+Setting ``REPRO_NO_TRACE=1`` removes the trace stage from the graph and
+every stage interprets live, as before.
 
 ``build`` exists because operation ids are assigned from a process-local
 counter: profiles and compilations reference programs *by op id*, so all
@@ -58,10 +67,10 @@ from repro.machine.description import MachineDescription
 
 #: Bump whenever a pipeline stage's semantics change in a way that makes
 #: previously cached results wrong.  Part of every job key.
-CODE_VERSION = "2026.08.4"
+CODE_VERSION = "2026.08.5"
 
 #: The built-in pipeline stages, in dependency order.
-PIPELINE_STAGES = ("build", "profile", "compile", "simulate")
+PIPELINE_STAGES = ("build", "trace", "profile", "compile", "simulate")
 
 
 def _normalise_pipeline(
@@ -259,13 +268,39 @@ def _run_build(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     return program
 
 
-def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
-    from repro.profiling.profile_run import profile_program
+def _maybe_trace(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    """The spec's trace dependency result, or ``None``.
+
+    Tolerant of absence: with ``REPRO_NO_TRACE=1`` the graph carries no
+    trace jobs, and a graph built under one setting may execute under
+    another — a missing trace simply means "interpret live".
+    """
+    for dep in default_deps(spec):
+        if dep.stage == "trace" and dep.key() in dep_results:
+            return dep_results[dep.key()]
+    return None
+
+
+def _run_trace(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.trace.capture import capture_trace
 
     program = dep_result(spec, dep_results, "build")
-    return profile_program(
-        program, profile_alu=bool(spec.param("profile_alu", False))
-    )
+    return capture_trace(program)
+
+
+def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    from repro.profiling.profile_run import profile_program
+    from repro.trace.format import TraceMismatch
+
+    program = dep_result(spec, dep_results, "build")
+    profile_alu = bool(spec.param("profile_alu", False))
+    trace = _maybe_trace(spec, dep_results)
+    if trace is not None:
+        try:
+            return profile_program(program, profile_alu=profile_alu, trace=trace)
+        except TraceMismatch:
+            pass
+    return profile_program(program, profile_alu=profile_alu)
 
 
 def _run_compile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
@@ -284,16 +319,31 @@ def _run_compile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
 
 def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     from repro.core.program_sim import simulate_program
+    from repro.trace.format import TraceMismatch
 
     compilation = dep_result(spec, dep_results, "compile")
+    model_icache = bool(spec.param("model_icache", False))
+    collect_metrics = bool(spec.param("collect_metrics", False))
+    trace = _maybe_trace(spec, dep_results)
+    if trace is not None:
+        try:
+            return simulate_program(
+                compilation,
+                model_icache=model_icache,
+                collect_metrics=collect_metrics,
+                trace=trace,
+            )
+        except TraceMismatch:
+            pass
     return simulate_program(
         compilation,
-        model_icache=bool(spec.param("model_icache", False)),
-        collect_metrics=bool(spec.param("collect_metrics", False)),
+        model_icache=model_icache,
+        collect_metrics=collect_metrics,
     )
 
 
 register_stage("build", _run_build)
+register_stage("trace", _run_trace)
 register_stage("profile", _run_profile)
 register_stage("compile", _run_compile)
 register_stage("simulate", _run_simulate)
@@ -308,6 +358,23 @@ def build_spec(
 ) -> JobSpec:
     return JobSpec(
         "build", benchmark, scale=scale,
+        pipeline=_normalise_pipeline(pipeline, frontend_only=True),
+    )
+
+
+def trace_spec(
+    benchmark: str,
+    scale: float = 1.0,
+    pipeline: Optional[PipelineConfig] = None,
+) -> JobSpec:
+    """One value-trace capture per (benchmark, scale, frontend pipeline).
+
+    Deliberately machine- and config-free, like ``profile``: the
+    architectural value stream is invariant across everything downstream
+    of the build, which is what lets a whole ablation sweep share it.
+    """
+    return JobSpec(
+        "trace", benchmark, scale=scale,
         pipeline=_normalise_pipeline(pipeline, frontend_only=True),
     )
 
@@ -376,9 +443,17 @@ def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
     materialise a dependency that was only named, never constructed.
     Injected test stages have no implicit dependencies.
     """
+    from repro.trace.store import replay_enabled
+
     profile_alu = bool(spec.param("profile_alu", False))
-    if spec.stage == "profile":
+    with_trace = replay_enabled()
+    if spec.stage == "trace":
         return (build_spec(spec.benchmark, spec.scale, spec.pipeline),)
+    if spec.stage == "profile":
+        deps = (build_spec(spec.benchmark, spec.scale, spec.pipeline),)
+        if with_trace:
+            deps += (trace_spec(spec.benchmark, spec.scale, spec.pipeline),)
+        return deps
     if spec.stage == "compile":
         return (
             build_spec(spec.benchmark, spec.scale, spec.pipeline),
@@ -389,12 +464,15 @@ def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
     if spec.stage == "simulate":
         if spec.machine is None:
             raise ValueError(f"{spec.job_id}: simulate jobs need a machine")
-        return (
+        deps = (
             compile_spec(
                 spec.benchmark, spec.machine, spec.scale,
                 spec.spec_config, profile_alu, spec.pipeline,
             ),
         )
+        if with_trace:
+            deps += (trace_spec(spec.benchmark, spec.scale, spec.pipeline),)
+        return deps
     return ()
 
 
@@ -405,6 +483,10 @@ def job_for(spec: JobSpec) -> Job:
 
 def build_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:
     return job_for(build_spec(benchmark, scale, **kw))
+
+
+def trace_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:
+    return job_for(trace_spec(benchmark, scale, **kw))
 
 
 def profile_job(benchmark: str, scale: float = 1.0, **kw: Any) -> Job:

@@ -1,0 +1,96 @@
+"""End-to-end differential: every table/figure artifact is byte-identical
+across {legacy interpreter, specialized interpreter, trace replay}.
+
+This is the acceptance gate for the whole fast path: if any layer
+perturbs a single predicted value or block count, a paper artifact
+diverges and this suite catches it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.evaluation import figure8, table2, table3, table4
+from repro.evaluation.experiment import Evaluation, EvaluationSettings
+from repro.profiling.interpreter import SLOW_INTERP_ENV
+from repro.trace import NO_TRACE_ENV, TraceStore, reset_default_store
+
+#: (mode name, REPRO_SLOW_INTERP, REPRO_NO_TRACE)
+MODES = [
+    ("legacy", "1", "1"),
+    ("specialized", None, "1"),
+    ("replay", None, None),
+]
+
+SETTINGS = EvaluationSettings(scale=0.25)
+
+EXPERIMENTS = {
+    "table2": table2.compute,
+    "table3": table3.compute,
+    "table4": table4.compute,
+    "figure8": figure8.compute,
+}
+
+
+def _rows_as_data(rows):
+    return [
+        dataclasses.asdict(row) if dataclasses.is_dataclass(row) else row
+        for row in rows
+    ]
+
+
+@pytest.fixture(autouse=True)
+def clean_trace_state():
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+def _compute_all(monkeypatch, slow, no_trace):
+    for env, value in ((SLOW_INTERP_ENV, slow), (NO_TRACE_ENV, no_trace)):
+        if value is None:
+            monkeypatch.delenv(env, raising=False)
+        else:
+            monkeypatch.setenv(env, value)
+    evaluation = Evaluation(SETTINGS, trace_store=TraceStore())
+    out = {}
+    for name, compute in EXPERIMENTS.items():
+        out[name] = _rows_as_data(compute(evaluation))
+    return out
+
+
+def test_all_artifacts_identical_across_modes(monkeypatch):
+    baseline_mode, *other_modes = MODES
+    baseline = _compute_all(monkeypatch, baseline_mode[1], baseline_mode[2])
+    for mode, slow, no_trace in other_modes:
+        candidate = _compute_all(monkeypatch, slow, no_trace)
+        for experiment in EXPERIMENTS:
+            assert candidate[experiment] == baseline[experiment], (
+                f"{experiment} diverged under mode {mode!r}"
+            )
+
+
+def test_rendered_tables_identical_across_modes(monkeypatch):
+    """The human-facing renderings (what the CLI prints and the docs
+    quote) are byte-identical too."""
+    rendered = []
+    for _mode, slow, no_trace in MODES:
+        for env, value in (
+            (SLOW_INTERP_ENV, slow), (NO_TRACE_ENV, no_trace)
+        ):
+            if value is None:
+                monkeypatch.delenv(env, raising=False)
+            else:
+                monkeypatch.setenv(env, value)
+        reset_default_store()
+        evaluation = Evaluation(SETTINGS, trace_store=TraceStore())
+        rendered.append(
+            "\n\n".join(
+                [
+                    table2.render(table2.compute(evaluation)),
+                    table4.render(table4.compute(evaluation)),
+                    figure8.render(figure8.compute(evaluation)),
+                ]
+            )
+        )
+    assert rendered[0] == rendered[1] == rendered[2]
