@@ -18,10 +18,16 @@ Typical use::
     rows = table2.compute(evaluation)      # served from the warmed caches
 """
 
-from repro.runner.cache import CacheStats, DiskCache, default_cache_dir
+from repro.runner.cache import (
+    CacheBackend,
+    CacheStats,
+    DiskCache,
+    default_cache_dir,
+)
 from repro.runner.events import EventLog, ProgressRenderer, executed_jobs, read_events
 from repro.runner.executor import JobError, Runner, resolve_workers
 from repro.runner.graph import CycleError, JobGraph
+from repro.runner.retry import RECONNECT_POLICY, RetryPolicy
 from repro.runner.jobs import (
     CODE_VERSION,
     Job,
@@ -47,6 +53,7 @@ from repro.runner.jobs import (
 
 __all__ = [
     "CODE_VERSION",
+    "CacheBackend",
     "CacheStats",
     "CycleError",
     "DiskCache",
@@ -56,6 +63,8 @@ __all__ = [
     "JobGraph",
     "JobSpec",
     "ProgressRenderer",
+    "RECONNECT_POLICY",
+    "RetryPolicy",
     "Runner",
     "adopt_program",
     "build_job",

@@ -1,20 +1,30 @@
-"""Content-addressed on-disk result store for pipeline jobs.
+"""Content-addressed result stores for pipeline jobs.
 
-Layout (``~/.cache/repro`` by default, overridable with ``--cache-dir``
-or ``$REPRO_CACHE_DIR``)::
+:class:`CacheBackend` is the abstraction every store implements: pickled
+values addressed by a job's content hash
+(:meth:`repro.runner.jobs.JobSpec.key`), which already folds in
+:data:`repro.runner.jobs.CODE_VERSION` — so code changes miss naturally.
+:data:`FORMAT_VERSION` versions the *store layout* instead: a layout
+change moves to a new namespace and strands (rather than misreads) old
+entries.
+
+:class:`DiskCache` is the local-directory implementation
+(``~/.cache/repro`` by default, overridable with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``)::
 
     <root>/v1/<key[:2]>/<key>.pkl     pickled stage result
     <root>/v1/<key[:2]>/<key>.json    sidecar manifest (human-inspectable)
 
-The key is the job's content hash (:meth:`repro.runner.jobs.JobSpec.key`),
-which already folds in :data:`repro.runner.jobs.CODE_VERSION` — so code
-changes miss naturally.  :data:`FORMAT_VERSION` versions the *store
-layout* instead: a layout change moves to ``v2/`` and strands (rather
-than misreads) old entries.
+The shared backends — :class:`repro.service.backends.SQLiteCache` (one
+WAL-mode file, safe for concurrent workers) and
+:class:`repro.service.backends.HTTPCache` (thin client for a broker's
+object-store endpoints) — subclass :class:`CacheBackend` from the
+service package; the executor only ever sees the interface.
 
-The cache is fault-tolerant by construction: writes go through a
-temporary file and an atomic ``os.replace``, and any unreadable or
-truncated entry is treated as a miss and deleted.
+Every backend is fault-tolerant by construction: disk writes go through
+a temporary file and an atomic ``os.replace`` (a concurrent writer
+racing on the same key wins-or-noops, never corrupts), and any
+unreadable or truncated entry is treated as a miss and evicted.
 """
 
 from __future__ import annotations
@@ -31,6 +41,18 @@ from typing import Any, Dict, Optional, Tuple
 #: Bump when the on-disk layout (not the result semantics) changes.
 FORMAT_VERSION = 1
 
+#: Exceptions that mean "this payload does not decode to a value".
+#: Anything else propagating from ``pickle.loads`` is a real bug.
+DECODE_ERRORS = (
+    pickle.PickleError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+)
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
@@ -44,7 +66,7 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Aggregate view of the store plus this process's hit/miss counters."""
+    """Aggregate view of a store plus this process's hit/miss counters."""
 
     root: str = ""
     entries: int = 0
@@ -55,9 +77,12 @@ class CacheStats:
     bytes_by_stage: Dict[str, int] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    #: Which backend produced these numbers (``disk``/``sqlite``/``http``).
+    backend: str = ""
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "backend": self.backend,
             "root": self.root,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
@@ -68,7 +93,10 @@ class CacheStats:
         }
 
     def render(self) -> str:
-        lines = [
+        lines = []
+        if self.backend:
+            lines.append(f"backend:    {self.backend}")
+        lines += [
             f"cache root: {self.root}",
             f"entries:    {self.entries} ({self.total_bytes / 1024:.1f} KiB)",
         ]
@@ -79,19 +107,125 @@ class CacheStats:
         return "\n".join(lines)
 
 
-class DiskCache:
-    """Durable pickle store addressed by job content hash.
+class CacheBackend:
+    """Interface + shared encode/decode logic for result stores.
+
+    Implementations provide the byte-level primitives
+    (:meth:`load_bytes` / :meth:`store_bytes` / :meth:`evict` /
+    :meth:`stats` / :meth:`clear`); the base class owns value
+    (de)serialisation, hit/miss accounting, and the ``enabled=False``
+    no-op mode that backs ``--no-cache``.
+
+    ``shared=True`` marks backends that serve several processes or hosts
+    at once — CLI maintenance (``repro-eval cache clear``) refuses to
+    wipe those without ``--force``.
+    """
+
+    name = "backend"
+    shared = False
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # -- value codec ---------------------------------------------------------
+
+    @staticmethod
+    def encode(value: Any) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def decode(payload: bytes) -> Any:
+        return pickle.loads(payload)
+
+    # -- operations ----------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses."""
+        if not self.enabled:
+            self.misses += 1
+            return False, None
+        payload = self.load_bytes(key)
+        if payload is None:
+            self.misses += 1
+            return False, None
+        try:
+            value = self.decode(payload)
+        except DECODE_ERRORS:
+            # Corrupt or stale-unreadable entry: evict it.
+            self.evict(key)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(
+        self, key: str, value: Any, manifest: Optional[Dict[str, Any]] = None
+    ) -> Optional[bytes]:
+        """Store ``value``; return the encoded payload (``None`` if disabled).
+
+        Returning the payload lets the executor memoize the *decoded
+        round trip* of a fresh result, so downstream stages consume
+        exactly what a cache hit would hand them — which is what makes
+        artifact bytes identical across serial, pooled, and remote
+        execution (a stage fed live objects pickles with different
+        internal sharing than one fed separately-unpickled inputs).
+        """
+        if not self.enabled:
+            return None
+        payload = self.encode(value)
+        meta = {
+            "key": key,
+            "format_version": FORMAT_VERSION,
+            "created": time.time(),
+            "size_bytes": len(payload),
+            **(manifest or {}),
+        }
+        self.store_bytes(key, payload, meta)
+        return payload
+
+    def has(self, key: str) -> bool:
+        """Whether an entry exists, without decoding it."""
+        return self.load_bytes(key) is not None
+
+    def describe(self) -> str:
+        """One-line human identification (backend + location)."""
+        return self.name
+
+    # -- byte-level primitives (implementations) -----------------------------
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        """The stored payload for ``key``, or ``None``.  Never raises."""
+        raise NotImplementedError
+
+    def store_bytes(self, key: str, payload: bytes, manifest: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def evict(self, key: str) -> None:
+        """Best-effort removal of one entry."""
+
+    def stats(self) -> CacheStats:
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Delete every entry; return the count removed."""
+        raise NotImplementedError
+
+
+class DiskCache(CacheBackend):
+    """Durable local pickle store addressed by job content hash.
 
     ``enabled=False`` turns every lookup into a miss and every store into
     a no-op, which lets callers thread one object through unconditionally
     (the ``--no-cache`` path).
     """
 
+    name = "disk"
+
     def __init__(self, root: Optional[Path] = None, enabled: bool = True):
-        self.enabled = enabled
+        super().__init__(enabled=enabled)
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
 
     # -- paths --------------------------------------------------------------
 
@@ -103,65 +237,80 @@ class DiskCache:
         shard = self.store / key[:2]
         return shard / f"{key}.pkl", shard / f"{key}.json"
 
-    # -- operations ---------------------------------------------------------
+    def describe(self) -> str:
+        return f"disk ({self.root})"
 
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; unreadable entries count as misses."""
-        if not self.enabled:
-            self.misses += 1
-            return False, None
-        pkl, manifest = self._paths(key)
+    # -- byte-level primitives ----------------------------------------------
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        pkl, _ = self._paths(key)
         try:
-            with open(pkl, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, ValueError):
-            if pkl.exists():
-                # Corrupt or stale-unreadable entry: evict it.
-                for path in (pkl, manifest):
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
-            self.misses += 1
-            return False, None
-        self.hits += 1
-        return True, value
+            return pkl.read_bytes()
+        except OSError:
+            return None
 
-    def put(self, key: str, value: Any, manifest: Optional[Dict[str, Any]] = None) -> None:
-        if not self.enabled:
-            return
+    def has(self, key: str) -> bool:
+        return self._paths(key)[0].exists()
+
+    def store_bytes(self, key: str, payload: bytes, manifest: Dict[str, Any]) -> None:
         pkl, manifest_path = self._paths(key)
-        pkl.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        meta = {
-            "key": key,
-            "format_version": FORMAT_VERSION,
-            "created": time.time(),
-            "size_bytes": len(payload),
-            **(manifest or {}),
-        }
         self._atomic_write(pkl, payload)
         self._atomic_write(
-            manifest_path, (json.dumps(meta, indent=2) + "\n").encode("utf-8")
+            manifest_path, (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
         )
+
+    def evict(self, key: str) -> None:
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, path)
-        except BaseException:
+        """Last-writer-wins atomic replace, safe under concurrent writers.
+
+        Two writers racing on the same key each stage a unique temporary
+        file and ``os.replace`` it over the destination — the second
+        simply overwrites the first's (identical) entry.  A concurrent
+        ``clear()`` can yank the shard directory out from under either
+        step; both spots retry once after recreating it, and if the
+        directory is lost twice the write is dropped (the entry was
+        being deleted anyway).  A replace refused by the OS while a
+        complete entry exists means another writer won: noop.
+        """
+        for _ in range(2):
             try:
-                os.unlink(tmp)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=path.name, suffix=".tmp"
+                )
+            except FileNotFoundError:
+                continue  # shard removed between mkdir and mkstemp
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                _unlink_quietly(tmp)
+                continue  # shard removed under the replace; retry
             except OSError:
-                pass
-            raise
+                _unlink_quietly(tmp)
+                if path.exists():
+                    return  # a concurrent writer already won this key
+                raise
+            except BaseException:
+                _unlink_quietly(tmp)
+                raise
 
     def stats(self) -> CacheStats:
-        stats = CacheStats(root=str(self.root), hits=self.hits, misses=self.misses)
+        stats = CacheStats(
+            root=str(self.root),
+            hits=self.hits,
+            misses=self.misses,
+            backend=self.name,
+        )
         if not self.store.is_dir():
             return stats
         for manifest_path in self.store.glob("*/*.json"):
@@ -204,3 +353,10 @@ class DiskCache:
             except OSError:
                 pass
         return removed
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

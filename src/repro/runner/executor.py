@@ -5,10 +5,13 @@ them over their dependencies (:class:`~repro.runner.graph.JobGraph`),
 and executes wave by wave:
 
 1. every job is first resolved against the in-memory memo and then the
-   disk cache (:class:`~repro.runner.cache.DiskCache`) — hits never
+   result cache (any :class:`~repro.runner.cache.CacheBackend` — the
+   local :class:`~repro.runner.cache.DiskCache` by default, or a shared
+   SQLite/HTTP backend from :mod:`repro.service.backends`) — hits never
    touch a worker;
 2. misses run on a ``ProcessPoolExecutor`` when ``jobs > 1``, each with
-   a per-job timeout and a bounded exponential-backoff retry budget;
+   a per-job timeout and a bounded, jittered exponential-backoff retry
+   budget (:class:`~repro.runner.retry.RetryPolicy`);
 3. a worker death (``BrokenProcessPool``), a pool that cannot be created
    (sandboxes, exotic platforms), or repeated timeouts degrade the run
    to in-process serial execution instead of failing it — results are
@@ -28,10 +31,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.runner.cache import DiskCache
+from repro.runner.cache import CacheBackend, DECODE_ERRORS, DiskCache
 from repro.runner.events import EventLog
 from repro.runner.graph import JobGraph
 from repro.runner.jobs import Job, execute_spec
+from repro.runner.retry import RetryPolicy
 
 
 class JobError(RuntimeError):
@@ -59,13 +63,18 @@ class Runner:
     Args:
         jobs: worker processes; ``1`` (default) runs in-process with no
             pool, ``0``/``None`` means one per CPU.
-        cache: disk cache; defaults to an enabled cache in the standard
-            location.  Pass ``DiskCache(enabled=False)`` for ``--no-cache``.
+        cache: result cache backend; defaults to an enabled
+            :class:`DiskCache` in the standard location.  Pass
+            ``DiskCache(enabled=False)`` for ``--no-cache``, or a shared
+            backend from :func:`repro.service.backends.make_cache`.
         events: event sink; a silent in-memory log by default.
         timeout: per-job seconds once a worker picks it up (pooled mode
             only — the serial path cannot preempt a running job).
         retries: additional attempts after the first failure.
-        backoff: base seconds for exponential backoff between attempts.
+        backoff: base seconds for exponential backoff between attempts
+            (shorthand for ``retry_policy=RetryPolicy(base=backoff)``).
+        retry_policy: full control over backoff growth/jitter/ceiling;
+            overrides ``backoff``.
         pool_factory: ``fn(max_workers) -> executor`` — injectable for
             tests; defaults to :class:`ProcessPoolExecutor`.
     """
@@ -73,11 +82,12 @@ class Runner:
     def __init__(
         self,
         jobs: int = 1,
-        cache: Optional[DiskCache] = None,
+        cache: Optional[CacheBackend] = None,
         events: Optional[EventLog] = None,
         timeout: Optional[float] = None,
         retries: int = 2,
         backoff: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
         pool_factory: Optional[Callable[[int], Any]] = None,
     ):
         self.jobs = resolve_workers(jobs)
@@ -85,7 +95,8 @@ class Runner:
         self.events = events if events is not None else EventLog()
         self.timeout = timeout
         self.retries = max(0, retries)
-        self.backoff = backoff
+        self.retry_policy = retry_policy or RetryPolicy(base=backoff)
+        self.backoff = self.retry_policy.base
         self._pool_factory = pool_factory or (
             lambda workers: ProcessPoolExecutor(max_workers=workers)
         )
@@ -164,9 +175,8 @@ class Runner:
 
     def _complete(self, job: Job, value: Any, wall_time: float, attempt: int) -> None:
         key = job.key()
-        self._results[key] = value
         spec = job.spec
-        self.cache.put(
+        payload = self.cache.put(
             key,
             value,
             manifest={
@@ -178,6 +188,16 @@ class Runner:
                 "wall_time": round(wall_time, 6),
             },
         )
+        if payload is not None:
+            # Memoize the decoded round trip, not the live object:
+            # downstream stages then see the same input a cache hit (or
+            # a pool/service hand-off) would give them, and the bytes
+            # they produce stop depending on the execution mode.
+            try:
+                value = self.cache.decode(payload)
+            except DECODE_ERRORS:
+                pass  # undecodable edge: keep the live value in memory
+        self._results[key] = value
         self._finish(job, cached=False, wall_time=wall_time, attempt=attempt)
 
     def _finish(self, job: Job, cached: bool, wall_time: float, attempt: int) -> None:
@@ -335,7 +355,7 @@ class Runner:
                 error=repr(exc),
             )
             return False
-        delay = self.backoff * (2 ** (attempt - 1))
+        delay = self.retry_policy.delay(attempt, token=job.key())
         self.events.emit(
             "job_retry",
             job=job.job_id,

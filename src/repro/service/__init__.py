@@ -1,0 +1,65 @@
+"""Shardable sweep service: broker, workers, and pluggable shared caches.
+
+``repro.runner`` executes a content-hash-keyed job graph on one host;
+this package lifts the same graph behind a job-submission API so a
+many-point ablation sweep (or many concurrent users) fans out across
+hosts while hitting one deduplicated result cache:
+
+``backends``
+    :class:`SQLiteCache` / :class:`HTTPCache` — shared implementations
+    of :class:`repro.runner.cache.CacheBackend` — plus the
+    :func:`make_cache` spec-string factory behind ``--cache-backend`` /
+    ``$REPRO_CACHE_URL``.
+``wire``
+    Job graphs as JSON payloads, with content-hash verification against
+    CODE_VERSION skew.
+``queue``
+    The broker's durable SQLite state: deduplicating job queue, leases
+    with expiry/requeue, per-sweep event streams.
+``broker``
+    The stdlib-HTTP front end (``repro-serve``): submit/poll/stream
+    sweeps, lease/complete/heartbeat for workers, and an object-store
+    API over the shared cache.
+``worker``
+    ``repro-worker``: leases jobs and executes them through the
+    ordinary :class:`repro.runner.Runner` against the shared cache.
+``client``
+    :class:`ServiceClient` (raw API) and :class:`ServiceRunner`, the
+    Runner-shaped adapter behind ``repro-eval --service URL`` —
+    byte-identical outputs to local execution.
+
+See ``docs/SERVICE.md`` for deployment and the API reference.
+"""
+
+from repro.service.backends import HTTPCache, SQLiteCache, make_cache
+from repro.service.broker import Broker
+from repro.service.client import ServiceClient, ServiceError, ServiceRunner, worker_id
+from repro.service.queue import SweepQueue
+from repro.service.wire import (
+    WIRE_VERSION,
+    WireError,
+    pack_graph,
+    pack_job,
+    unpack_graph,
+    unpack_job,
+)
+from repro.service.worker import Worker
+
+__all__ = [
+    "Broker",
+    "HTTPCache",
+    "SQLiteCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRunner",
+    "SweepQueue",
+    "WIRE_VERSION",
+    "WireError",
+    "Worker",
+    "make_cache",
+    "pack_graph",
+    "pack_job",
+    "unpack_graph",
+    "unpack_job",
+    "worker_id",
+]

@@ -1,0 +1,121 @@
+"""``repro-serve``: run a sweep broker.
+
+Usage::
+
+    repro-serve --port 8731 --queue /var/lib/repro/queue.db \\
+                --cache-backend sqlite:/var/lib/repro/cache.db
+
+    repro-eval table2 --service http://broker:8731     # clients
+    repro-worker --broker http://broker:8731           # workers
+
+Everything durable lives in the queue SQLite file and the cache backend;
+the process itself is disposable (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.runner.cache import default_cache_dir
+from repro.service.backends import make_cache
+from repro.service.broker import Broker
+from repro.service.queue import SweepQueue
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the repro sweep API (job queue + shared result cache).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; the API trusts its clients)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="bind port (default 8731; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--queue",
+        metavar="PATH",
+        default=None,
+        help=(
+            "queue database file "
+            "(default: <cache dir>/service/queue.db)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-backend",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "result store: disk[:/path], sqlite[:/path.db], or an http URL "
+            "(default: sqlite at <cache dir>/service/cache.db; "
+            "$REPRO_CACHE_URL is honoured)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        help="seconds before a silent worker's lease requeues (default 60)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="execution attempts per job before it is marked failed (default 3)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every request to stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    service_dir = default_cache_dir() / "service"
+    queue_path = Path(args.queue) if args.queue else service_dir / "queue.db"
+    if args.cache_backend:
+        cache = make_cache(args.cache_backend)
+    else:
+        import os
+
+        env = os.environ.get("REPRO_CACHE_URL")
+        cache = make_cache(env) if env else make_cache(
+            f"sqlite:{service_dir / 'cache.db'}"
+        )
+    queue = SweepQueue(
+        queue_path,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+    )
+    broker = Broker(
+        queue, cache, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"repro-serve: listening on {broker.url}\n"
+        f"repro-serve: queue {queue_path}\n"
+        f"repro-serve: cache {cache.describe()}",
+        file=sys.stderr,
+    )
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.server.server_close()
+        queue.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,315 @@
+"""Pluggable cache backends for the sweep service.
+
+The executor caches stage results through the
+:class:`repro.runner.cache.CacheBackend` interface; this module adds the
+*shared* implementations that make multi-worker and multi-host sweeps
+hit one deduplicated store:
+
+``SQLiteCache``
+    A single WAL-mode SQLite file.  Safe for many concurrent readers and
+    writers (processes or threads) on one host or a shared filesystem —
+    the broker's default, and the backend two loopback workers share in
+    the end-to-end tests.
+
+``HTTPCache``
+    A thin client for a broker's object-store endpoints
+    (``GET/PUT /cache/<key>``, ``GET /cache/stats``,
+    ``POST /cache/clear``).  This is how a worker on another host shares
+    the broker's cache without a shared filesystem.  Network faults
+    degrade to cache misses; sweeps slow down, they do not fail.
+
+:func:`make_cache` resolves a backend *spec string* — the value of
+``--cache-backend`` or ``$REPRO_CACHE_URL``::
+
+    disk                      DiskCache in the default location
+    disk:/path                DiskCache rooted at /path
+    sqlite                    SQLiteCache at <default cache dir>/cache.db
+    sqlite:/path/file.db      SQLiteCache at that file
+    /path/file.db             ditto (by suffix)
+    http://host:port[/cache]  HTTPCache against a broker
+    /some/dir                 DiskCache rooted there
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.runner.cache import (
+    CacheBackend,
+    CacheStats,
+    DiskCache,
+    FORMAT_VERSION,
+    default_cache_dir,
+)
+
+#: Suffixes that make a bare path mean "SQLite file", not "directory".
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+class SQLiteCache(CacheBackend):
+    """Content-addressed store in one SQLite file, safe for concurrency.
+
+    WAL journaling lets readers proceed under a writer; a generous busy
+    timeout plus per-thread connections make concurrent workers
+    hammering the same key serialize instead of erroring.  Writes are
+    ``INSERT OR REPLACE`` — last writer wins, which is correct because
+    two writers of the same content-hash key are by construction writing
+    the same result.
+    """
+
+    name = "sqlite"
+    shared = True
+
+    def __init__(self, path: Union[str, Path, None] = None, enabled: bool = True):
+        super().__init__(enabled=enabled)
+        self.path = (
+            Path(path).expanduser()
+            if path is not None
+            else default_cache_dir() / "cache.db"
+        )
+        self._local = threading.local()
+
+    def describe(self) -> str:
+        return f"sqlite ({self.path})"
+
+    # -- connection management ----------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path), timeout=30.0, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                f"""CREATE TABLE IF NOT EXISTS entries_v{FORMAT_VERSION} (
+                    key TEXT PRIMARY KEY,
+                    payload BLOB NOT NULL,
+                    manifest TEXT NOT NULL,
+                    stage TEXT,
+                    created REAL,
+                    size INTEGER
+                )"""
+            )
+            self._local.conn = conn
+        return conn
+
+    @property
+    def _table(self) -> str:
+        return f"entries_v{FORMAT_VERSION}"
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- byte-level primitives ----------------------------------------------
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        try:
+            row = self._conn().execute(
+                f"SELECT payload FROM {self._table} WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        return bytes(row[0]) if row is not None else None
+
+    def has(self, key: str) -> bool:
+        try:
+            row = self._conn().execute(
+                f"SELECT 1 FROM {self._table} WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            return False
+        return row is not None
+
+    def store_bytes(self, key: str, payload: bytes, manifest: Dict[str, Any]) -> None:
+        self._conn().execute(
+            f"INSERT OR REPLACE INTO {self._table} "
+            "(key, payload, manifest, stage, created, size) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                sqlite3.Binary(payload),
+                json.dumps(manifest, sort_keys=True),
+                str(manifest.get("stage", "unknown")),
+                float(manifest.get("created", 0.0)),
+                len(payload),
+            ),
+        )
+
+    def evict(self, key: str) -> None:
+        try:
+            self._conn().execute(
+                f"DELETE FROM {self._table} WHERE key = ?", (key,)
+            )
+        except sqlite3.Error:
+            pass
+
+    def stats(self) -> CacheStats:
+        stats = CacheStats(
+            root=str(self.path),
+            hits=self.hits,
+            misses=self.misses,
+            backend=self.name,
+        )
+        try:
+            rows = self._conn().execute(
+                f"SELECT stage, COUNT(*), SUM(size) FROM {self._table} "
+                "GROUP BY stage"
+            ).fetchall()
+        except sqlite3.Error:
+            return stats
+        for stage, count, size in rows:
+            stage = stage or "unknown"
+            stats.entries += count
+            stats.total_bytes += size or 0
+            stats.by_stage[stage] = count
+            stats.bytes_by_stage[stage] = size or 0
+        return stats
+
+    def clear(self) -> int:
+        try:
+            conn = self._conn()
+            (count,) = conn.execute(
+                f"SELECT COUNT(*) FROM {self._table}"
+            ).fetchone()
+            conn.execute(f"DELETE FROM {self._table}")
+            return count
+        except sqlite3.Error:
+            return 0
+
+
+class HTTPCache(CacheBackend):
+    """Client for a remote object store speaking the broker's cache API.
+
+    Endpoints, relative to the base URL (``http://host:port/cache``)::
+
+        GET  <base>/<key>       200 pickled payload | 404 miss
+        PUT  <base>/<key>       body = payload, X-Repro-Manifest = JSON
+        GET  <base>/stats       CacheStats JSON
+        POST <base>/clear?force=1
+
+    All network trouble is swallowed into a miss (get) or a dropped
+    write (put): a flaky broker makes a sweep slower, never wrong.
+    """
+
+    name = "http"
+    shared = True
+
+    def __init__(self, url: str, enabled: bool = True, timeout: float = 30.0):
+        super().__init__(enabled=enabled)
+        url = url.rstrip("/")
+        if not url.endswith("/cache"):
+            url += "/cache"
+        self.url = url
+        self.timeout = timeout
+
+    def describe(self) -> str:
+        return f"http ({self.url})"
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Optional[bytes]:
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, method=method,
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    # -- byte-level primitives ----------------------------------------------
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        return self._request("GET", f"/{key}")
+
+    def store_bytes(self, key: str, payload: bytes, manifest: Dict[str, Any]) -> None:
+        self._request(
+            "PUT",
+            f"/{key}",
+            data=payload,
+            headers={
+                "Content-Type": "application/octet-stream",
+                "X-Repro-Manifest": json.dumps(manifest, sort_keys=True),
+            },
+        )
+
+    def evict(self, key: str) -> None:
+        self._request("DELETE", f"/{key}")
+
+    def stats(self) -> CacheStats:
+        payload = self._request("GET", "/stats")
+        stats = CacheStats(
+            root=self.url, hits=self.hits, misses=self.misses, backend=self.name
+        )
+        if payload is None:
+            return stats
+        try:
+            remote = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return stats
+        stats.entries = int(remote.get("entries", 0))
+        stats.total_bytes = int(remote.get("total_bytes", 0))
+        stats.by_stage = dict(remote.get("by_stage", {}))
+        stats.bytes_by_stage = dict(remote.get("bytes_by_stage", {}))
+        return stats
+
+    def clear(self) -> int:
+        payload = self._request("POST", "/clear?force=1")
+        if payload is None:
+            return 0
+        try:
+            return int(json.loads(payload).get("removed", 0))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            return 0
+
+
+def make_cache(
+    spec: Optional[str] = None,
+    enabled: bool = True,
+    default_root: Optional[Path] = None,
+) -> CacheBackend:
+    """Resolve a ``--cache-backend`` / ``$REPRO_CACHE_URL`` spec string.
+
+    ``None`` falls back to the environment variable, then to the local
+    disk backend — so existing callers and the default CLI behaviour are
+    unchanged.  ``default_root`` (the ``--cache-dir`` flag) roots the
+    disk backend and the default SQLite file when the spec names no
+    explicit path.
+    """
+    import os
+
+    if spec is None:
+        spec = os.environ.get("REPRO_CACHE_URL") or ""
+    spec = spec.strip()
+    if not spec or spec == "disk":
+        return DiskCache(root=default_root, enabled=enabled)
+    if spec.startswith(("http://", "https://")):
+        return HTTPCache(spec, enabled=enabled)
+    scheme, _, rest = spec.partition(":")
+    if scheme == "sqlite":
+        if rest:
+            return SQLiteCache(rest, enabled=enabled)
+        root = Path(default_root) if default_root else default_cache_dir()
+        return SQLiteCache(root / "cache.db", enabled=enabled)
+    if scheme == "disk":
+        return DiskCache(root=Path(rest) if rest else default_root, enabled=enabled)
+    if spec.endswith(_SQLITE_SUFFIXES):
+        return SQLiteCache(spec, enabled=enabled)
+    return DiskCache(root=Path(spec), enabled=enabled)

@@ -1,0 +1,274 @@
+"""The sweep broker: a stdlib-HTTP front end over queue + cache.
+
+The broker is deliberately cheap — it schedules and bookkeeps, it never
+builds, profiles, compiles or simulates anything.  All state lives in
+the :class:`~repro.service.queue.SweepQueue` SQLite file and the shared
+:class:`~repro.runner.cache.CacheBackend`, so the broker process itself
+is disposable: restart it and workers reconnect, leases time out and
+requeue, nothing is lost.
+
+API (JSON unless noted):
+
+==========================================  =================================
+``POST /sweeps``                            submit a packed job graph
+                                            (:func:`repro.service.wire.pack_graph`)
+``GET  /sweeps/<id>``                       sweep status/counts
+``GET  /sweeps/<id>/events?since=N``        per-sweep JSONL event stream
+``POST /worker/lease``                      ``{"worker": id}`` → one ready job
+``POST /worker/complete``                   report a lease outcome
+``POST /worker/heartbeat``                  extend held leases
+``GET  /cache/<key>``                       raw pickled result bytes | 404
+``PUT  /cache/<key>``                       store result bytes
+                                            (``X-Repro-Manifest`` header)
+``GET  /cache/stats``                       backend stats JSON
+``POST /cache/clear?force=1``               wipe the backend (403 w/o force)
+``GET  /healthz``                           liveness + queue totals
+==========================================  =================================
+
+Run it with ``repro-serve`` (see :mod:`repro.service.__main__`), or
+embed it in-process — the loopback tests do — via::
+
+    broker = Broker(queue, cache)
+    broker.start()          # daemon thread
+    ... ServiceClient(broker.url) ...
+    broker.stop()
+
+Trust model: the broker serves a team's sweep traffic on a network you
+control.  Job blobs and cached results are pickles; do not expose the
+port to untrusted clients (``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.runner.cache import CacheBackend
+from repro.service.queue import SweepQueue
+from repro.service.wire import WireError, check_wire_version
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class Broker:
+    """Owns the HTTP server plus the queue and cache it fronts."""
+
+    def __init__(
+        self,
+        queue: SweepQueue,
+        cache: CacheBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.queue = queue
+        self.cache = cache
+        self.verbose = verbose
+        handler = _make_handler(self)
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "Broker":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="repro-broker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.queue.close()
+
+    def __enter__(self) -> "Broker":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def _make_handler(broker: Broker):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing ----------------------------------------------------------
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            if broker.verbose:
+                sys.stderr.write(
+                    f"broker: {self.address_string()} {fmt % args}\n"
+                )
+
+        def _json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _bytes(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length") or 0)
+            return self.rfile.read(length) if length else b""
+
+        def _read_json(self) -> Dict[str, Any]:
+            return json.loads(self._read_body() or b"{}")
+
+        def _route(self) -> Tuple[str, Dict[str, Any]]:
+            parsed = urlparse(self.path)
+            query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+            return parsed.path.rstrip("/") or "/", query
+
+        # -- GET ---------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path, query = self._route()
+            try:
+                if path == "/healthz":
+                    payload = {"ok": True, **broker.queue.counts()}
+                    payload["cache"] = broker.cache.describe()
+                    return self._json(200, payload)
+                if path == "/cache/stats":
+                    return self._json(200, broker.cache.stats().as_dict())
+                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+                if match:
+                    payload = broker.cache.load_bytes(match.group(1))
+                    if payload is None:
+                        return self._json(404, {"error": "miss"})
+                    return self._bytes(
+                        200, payload, "application/octet-stream"
+                    )
+                match = re.fullmatch(r"/sweeps/([0-9a-f]+)", path)
+                if match:
+                    status = broker.queue.sweep_status(match.group(1))
+                    if status is None:
+                        return self._json(404, {"error": "unknown sweep"})
+                    return self._json(200, status)
+                match = re.fullmatch(r"/sweeps/([0-9a-f]+)/events", path)
+                if match:
+                    since = int(query.get("since", 0))
+                    records = broker.queue.events_since(match.group(1), since)
+                    body = "".join(
+                        json.dumps(record, default=str) + "\n"
+                        for record in records
+                    ).encode("utf-8")
+                    return self._bytes(200, body, "application/x-ndjson")
+                self._json(404, {"error": f"no route {path!r}"})
+            except Exception as exc:  # noqa: BLE001 - report, don't kill the thread
+                self._json(500, {"error": repr(exc)})
+
+        # -- POST --------------------------------------------------------------
+
+        def do_POST(self) -> None:  # noqa: N802
+            path, query = self._route()
+            try:
+                if path == "/sweeps":
+                    payload = self._read_json()
+                    try:
+                        check_wire_version(payload)
+                    except WireError as exc:
+                        return self._json(400, {"error": str(exc)})
+                    jobs = payload.get("jobs", [])
+                    for entry in jobs:
+                        key = entry.get("key", "")
+                        if not _KEY_RE.fullmatch(str(key)):
+                            return self._json(
+                                400, {"error": f"malformed job key {key!r}"}
+                            )
+                    summary = broker.queue.submit(
+                        jobs, result_exists=broker.cache.has
+                    )
+                    return self._json(200, summary)
+                if path == "/worker/lease":
+                    payload = self._read_json()
+                    job = broker.queue.lease(str(payload.get("worker", "?")))
+                    return self._json(200, {"job": job})
+                if path == "/worker/complete":
+                    payload = self._read_json()
+                    outcome = broker.queue.complete(
+                        worker=str(payload.get("worker", "?")),
+                        key=str(payload.get("key", "")),
+                        ok=bool(payload.get("ok")),
+                        cached=bool(payload.get("cached")),
+                        wall_time=float(payload.get("wall_time", 0.0)),
+                        error=payload.get("error"),
+                    )
+                    return self._json(200, outcome)
+                if path == "/worker/heartbeat":
+                    payload = self._read_json()
+                    extended = broker.queue.heartbeat(
+                        str(payload.get("worker", "?")),
+                        [str(k) for k in payload.get("keys", [])],
+                    )
+                    return self._json(200, {"extended": extended})
+                if path == "/cache/clear":
+                    if query.get("force") not in ("1", "true", "yes"):
+                        return self._json(
+                            403,
+                            {
+                                "error": (
+                                    "refusing to clear a shared cache "
+                                    "without force=1"
+                                )
+                            },
+                        )
+                    return self._json(200, {"removed": broker.cache.clear()})
+                self._json(404, {"error": f"no route {path!r}"})
+            except Exception as exc:  # noqa: BLE001
+                self._json(500, {"error": repr(exc)})
+
+        # -- PUT / DELETE ------------------------------------------------------
+
+        def do_PUT(self) -> None:  # noqa: N802
+            path, _ = self._route()
+            try:
+                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+                if not match:
+                    return self._json(404, {"error": f"no route {path!r}"})
+                payload = self._read_body()
+                manifest: Dict[str, Any] = {}
+                header = self.headers.get("X-Repro-Manifest")
+                if header:
+                    try:
+                        manifest = json.loads(header)
+                    except json.JSONDecodeError:
+                        manifest = {}
+                broker.cache.store_bytes(match.group(1), payload, manifest)
+                self._json(200, {"stored": len(payload)})
+            except Exception as exc:  # noqa: BLE001
+                self._json(500, {"error": repr(exc)})
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            path, _ = self._route()
+            match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+            if not match:
+                return self._json(404, {"error": f"no route {path!r}"})
+            broker.cache.evict(match.group(1))
+            self._json(200, {"evicted": match.group(1)})
+
+    return Handler

@@ -1,0 +1,465 @@
+"""The broker's durable state: a SQLite-backed, deduplicating job queue.
+
+One WAL-mode SQLite file holds everything the broker knows — sweeps,
+jobs, dependency edges, leases, and the per-sweep event stream — so a
+broker restart loses nothing: leased jobs simply time out and requeue,
+and workers reconnect to the same queue.
+
+Deduplication is by job content hash, *across* sweeps: two concurrent
+submissions of overlapping graphs insert each job once (``INSERT OR
+IGNORE`` under an immediate transaction), and a job finishing notifies
+every sweep that references it.  A job already ``done`` when a new sweep
+arrives is reported to that sweep as a cache hit immediately — the queue
+is the scheduling mirror of the content-addressed result cache.
+
+Job lifecycle::
+
+    pending ──lease──► leased ──complete(ok)──► done
+       ▲                 │  │
+       │   lease expiry  │  └─complete(fail, attempts left)──► pending
+       └─────────────────┘
+                         └─complete(fail, budget exhausted)──► failed
+
+Results never live here — they go to the shared
+:class:`repro.runner.cache.CacheBackend`; the queue records only states,
+attempts and events.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id TEXT PRIMARY KEY,
+    created REAL NOT NULL,
+    total INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    key TEXT PRIMARY KEY,
+    job_id TEXT NOT NULL,
+    stage TEXT NOT NULL,
+    blob TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    worker TEXT,
+    lease_expires REAL,
+    cached INTEGER NOT NULL DEFAULT 0,
+    wall_time REAL,
+    error TEXT,
+    created REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweep_jobs (
+    sweep_id TEXT NOT NULL,
+    key TEXT NOT NULL,
+    PRIMARY KEY (sweep_id, key)
+);
+CREATE TABLE IF NOT EXISTS deps (
+    key TEXT NOT NULL,
+    dep TEXT NOT NULL,
+    PRIMARY KEY (key, dep)
+);
+CREATE TABLE IF NOT EXISTS events (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    sweep_id TEXT NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state);
+CREATE INDEX IF NOT EXISTS idx_events_sweep ON events (sweep_id, seq);
+"""
+
+#: Job states a sweep counts as "settled".
+TERMINAL_STATES = ("done", "failed")
+
+
+class SweepQueue:
+    """Durable sweep/job bookkeeping over one SQLite file."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        lease_timeout: float = 60.0,
+        max_attempts: int = 3,
+    ):
+        self.path = Path(path).expanduser()
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max(1, max_attempts)
+        self._local = threading.local()
+
+    # -- connection management ----------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path), timeout=30.0, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            self._local.conn = conn
+        return conn
+
+    @contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One immediate (write-locking) transaction."""
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- events ---------------------------------------------------------------
+
+    def _emit(
+        self, conn: sqlite3.Connection, sweep_ids: Sequence[str], event: str,
+        **fields: Any,
+    ) -> None:
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        payload = json.dumps(record, default=str)
+        conn.executemany(
+            "INSERT INTO events (sweep_id, record) VALUES (?, ?)",
+            [(sweep_id, payload) for sweep_id in sweep_ids],
+        )
+
+    def _sweeps_of(self, conn: sqlite3.Connection, key: str) -> List[str]:
+        return [
+            row[0]
+            for row in conn.execute(
+                "SELECT sweep_id FROM sweep_jobs WHERE key = ?", (key,)
+            )
+        ]
+
+    def events_since(self, sweep_id: str, since: int = 0) -> List[Dict[str, Any]]:
+        """Event records for one sweep with ``seq > since`` (ascending)."""
+        rows = self._conn().execute(
+            "SELECT seq, record FROM events WHERE sweep_id = ? AND seq > ? "
+            "ORDER BY seq",
+            (sweep_id, since),
+        ).fetchall()
+        out = []
+        for seq, record in rows:
+            try:
+                parsed = json.loads(record)
+            except json.JSONDecodeError:
+                continue
+            parsed["seq"] = seq
+            out.append(parsed)
+        return out
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        packed_jobs: Sequence[Dict[str, Any]],
+        result_exists: Optional[Callable[[str], bool]] = None,
+    ) -> Dict[str, Any]:
+        """Register a sweep over pre-packed jobs (full dependency closure).
+
+        ``result_exists`` (the broker's cache probe) guards the dedup
+        fast path: a job recorded ``done`` whose result has since been
+        evicted from the shared cache is reset to ``pending`` instead of
+        being reported as instantly complete.
+
+        Returns ``{"sweep_id", "total", "new", "deduped", "done"}``.
+        """
+        sweep_id = uuid.uuid4().hex[:12]
+        now = time.time()
+        new = deduped = done = 0
+        with self._txn() as conn:
+            for entry in packed_jobs:
+                key = entry["key"]
+                row = conn.execute(
+                    "SELECT state FROM jobs WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO jobs "
+                        "(key, job_id, stage, blob, state, created) "
+                        "VALUES (?, ?, ?, ?, 'pending', ?)",
+                        (key, entry["job_id"], entry["stage"], entry["blob"], now),
+                    )
+                    conn.executemany(
+                        "INSERT OR IGNORE INTO deps (key, dep) VALUES (?, ?)",
+                        [(key, dep) for dep in entry.get("deps", ())],
+                    )
+                    new += 1
+                else:
+                    state = row[0]
+                    deduped += 1
+                    if state == "failed" or (
+                        state == "done"
+                        and result_exists is not None
+                        and not result_exists(key)
+                    ):
+                        # Fresh retry budget for resubmitted failures;
+                        # evicted results must be recomputed.
+                        conn.execute(
+                            "UPDATE jobs SET state = 'pending', attempts = 0, "
+                            "worker = NULL, error = NULL WHERE key = ?",
+                            (key,),
+                        )
+                    elif state == "done":
+                        done += 1
+                conn.execute(
+                    "INSERT OR IGNORE INTO sweep_jobs (sweep_id, key) "
+                    "VALUES (?, ?)",
+                    (sweep_id, key),
+                )
+            conn.execute(
+                "INSERT INTO sweeps (sweep_id, created, total) VALUES (?, ?, ?)",
+                (sweep_id, now, len(packed_jobs)),
+            )
+            self._emit(
+                conn, [sweep_id], "sweep_submitted",
+                sweep=sweep_id, total=len(packed_jobs), new=new,
+                deduped=deduped, already_done=done,
+            )
+            # Jobs that were settled before this sweep arrived are cache
+            # hits from its point of view: mirror the runner's event pair.
+            for entry in packed_jobs:
+                row = conn.execute(
+                    "SELECT state, stage FROM jobs WHERE key = ?",
+                    (entry["key"],),
+                ).fetchone()
+                if row and row[0] == "done":
+                    self._emit(
+                        conn, [sweep_id], "cache_hit",
+                        job=entry["job_id"], stage=entry["stage"],
+                        key=entry["key"], source="queue",
+                    )
+                    self._emit(
+                        conn, [sweep_id], "job_finish",
+                        job=entry["job_id"], stage=entry["stage"],
+                        key=entry["key"], cached=True, wall_time=0.0,
+                        attempt=0,
+                    )
+        return {
+            "sweep_id": sweep_id,
+            "total": len(packed_jobs),
+            "new": new,
+            "deduped": deduped,
+            "done": done,
+        }
+
+    # -- worker protocol -------------------------------------------------------
+
+    def requeue_expired(self) -> int:
+        """Return timed-out leases to the pending pool."""
+        now = time.time()
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT key, job_id, stage, worker FROM jobs "
+                "WHERE state = 'leased' AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            for key, job_id, stage, worker in rows:
+                conn.execute(
+                    "UPDATE jobs SET state = 'pending', worker = NULL "
+                    "WHERE key = ?",
+                    (key,),
+                )
+                self._emit(
+                    conn, self._sweeps_of(conn, key), "job_requeued",
+                    job=job_id, stage=stage, key=key, worker=worker,
+                    reason="lease expired",
+                )
+        return len(rows)
+
+    def lease(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Hand one ready job to ``worker``, or ``None`` if none is ready.
+
+        Ready = ``pending`` with no dependency in a non-``done`` state.
+        (A dependency key absent from the jobs table is treated as
+        satisfied — the worker's runner resolves it from the shared
+        cache, or recomputes it.)
+        """
+        self.requeue_expired()
+        now = time.time()
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT key, job_id, stage, blob, attempts FROM jobs j "
+                "WHERE j.state = 'pending' AND NOT EXISTS ("
+                "    SELECT 1 FROM deps d JOIN jobs dj ON dj.key = d.dep "
+                "    WHERE d.key = j.key AND dj.state != 'done'"
+                ") ORDER BY j.created LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            key, job_id, stage, blob, attempts = row
+            conn.execute(
+                "UPDATE jobs SET state = 'leased', worker = ?, "
+                "lease_expires = ?, attempts = ? WHERE key = ?",
+                (worker, now + self.lease_timeout, attempts + 1, key),
+            )
+            self._emit(
+                conn, self._sweeps_of(conn, key), "job_start",
+                job=job_id, stage=stage, key=key, worker=worker,
+                attempt=attempts + 1,
+            )
+        return {
+            "key": key,
+            "job_id": job_id,
+            "stage": stage,
+            "blob": blob,
+            "attempt": attempts + 1,
+            "lease_timeout": self.lease_timeout,
+        }
+
+    def heartbeat(self, worker: str, keys: Sequence[str]) -> int:
+        """Extend the leases ``worker`` still holds; return how many."""
+        if not keys:
+            return 0
+        now = time.time()
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_expires = ? "
+                f"WHERE worker = ? AND state = 'leased' AND key IN "
+                f"({','.join('?' * len(keys))})",
+                (now + self.lease_timeout, worker, *keys),
+            )
+            return cursor.rowcount
+
+    def complete(
+        self,
+        worker: str,
+        key: str,
+        ok: bool,
+        cached: bool = False,
+        wall_time: float = 0.0,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Record a lease outcome; failures requeue until the budget runs out."""
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT job_id, stage, attempts FROM jobs WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                return {"state": "unknown"}
+            job_id, stage, attempts = row
+            sweeps = self._sweeps_of(conn, key)
+            if ok:
+                conn.execute(
+                    "UPDATE jobs SET state = 'done', worker = NULL, "
+                    "cached = ?, wall_time = ?, error = NULL WHERE key = ?",
+                    (1 if cached else 0, wall_time, key),
+                )
+                if cached:
+                    self._emit(
+                        conn, sweeps, "cache_hit",
+                        job=job_id, stage=stage, key=key, source="worker",
+                    )
+                else:
+                    self._emit(
+                        conn, sweeps, "cache_miss",
+                        job=job_id, stage=stage, key=key,
+                    )
+                self._emit(
+                    conn, sweeps, "job_finish",
+                    job=job_id, stage=stage, key=key, cached=cached,
+                    wall_time=round(wall_time, 6), attempt=attempts,
+                    worker=worker,
+                )
+                state = "done"
+            elif attempts >= self.max_attempts:
+                conn.execute(
+                    "UPDATE jobs SET state = 'failed', worker = NULL, "
+                    "error = ? WHERE key = ?",
+                    (error, key),
+                )
+                self._emit(
+                    conn, sweeps, "job_failed",
+                    job=job_id, stage=stage, key=key, attempts=attempts,
+                    error=error, worker=worker,
+                )
+                state = "failed"
+            else:
+                conn.execute(
+                    "UPDATE jobs SET state = 'pending', worker = NULL, "
+                    "error = ? WHERE key = ?",
+                    (error, key),
+                )
+                self._emit(
+                    conn, sweeps, "job_retry",
+                    job=job_id, stage=stage, key=key, attempt=attempts,
+                    error=error, worker=worker, backoff=0.0,
+                )
+                state = "pending"
+        return {"state": state, "attempts": attempts}
+
+    # -- status ----------------------------------------------------------------
+
+    def sweep_status(self, sweep_id: str) -> Optional[Dict[str, Any]]:
+        conn = self._conn()
+        sweep = conn.execute(
+            "SELECT created, total FROM sweeps WHERE sweep_id = ?",
+            (sweep_id,),
+        ).fetchone()
+        if sweep is None:
+            return None
+        counts: Dict[str, int] = {}
+        for state, count in conn.execute(
+            "SELECT j.state, COUNT(*) FROM sweep_jobs s "
+            "JOIN jobs j ON j.key = s.key WHERE s.sweep_id = ? "
+            "GROUP BY j.state",
+            (sweep_id,),
+        ):
+            counts[state] = count
+        failed = [
+            {"job": job_id, "key": key, "error": error}
+            for key, job_id, error in conn.execute(
+                "SELECT j.key, j.job_id, j.error FROM sweep_jobs s "
+                "JOIN jobs j ON j.key = s.key "
+                "WHERE s.sweep_id = ? AND j.state = 'failed'",
+                (sweep_id,),
+            )
+        ]
+        total = sum(counts.values())
+        settled = sum(counts.get(state, 0) for state in TERMINAL_STATES)
+        return {
+            "sweep_id": sweep_id,
+            "created": sweep[0],
+            "total": total,
+            "states": counts,
+            "failed": failed,
+            "done": settled == total,
+            "ok": counts.get("done", 0) == total,
+        }
+
+    def counts(self) -> Dict[str, Any]:
+        """Global queue totals, for health checks and the CLI."""
+        conn = self._conn()
+        states: Dict[str, int] = {}
+        for state, count in conn.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            states[state] = count
+        (sweeps,) = conn.execute("SELECT COUNT(*) FROM sweeps").fetchone()
+        return {"sweeps": sweeps, "jobs": states}
+
+    def pending_ready(self) -> int:
+        """How many jobs could be leased right now (monitoring aid)."""
+        (count,) = self._conn().execute(
+            "SELECT COUNT(*) FROM jobs j WHERE j.state = 'pending' "
+            "AND NOT EXISTS (SELECT 1 FROM deps d JOIN jobs dj "
+            "ON dj.key = d.dep WHERE d.key = j.key AND dj.state != 'done')"
+        ).fetchone()
+        return count

@@ -1,0 +1,96 @@
+"""Wire format: job graphs as JSON-safe payloads.
+
+A sweep submission carries the *full dependency closure* of its jobs
+(the client materialises it through :class:`repro.runner.graph.JobGraph`
+before packing), each job as::
+
+    {"key": <content hash>, "job_id": <human id>, "stage": <stage>,
+     "deps": [<dep keys>], "blob": <base64 pickle of the Job>}
+
+The broker schedules from the plain fields alone — key, stage, deps —
+and never unpickles the blob, so a broker keeps working across client
+code versions.  Workers *do* unpickle, and :func:`unpack_job` recomputes
+``Job.key()`` after unpickling: the key folds in
+:data:`repro.runner.jobs.CODE_VERSION`, so a worker running different
+code than the submitting client gets a loud :class:`WireError` instead
+of silently caching results under a key that lies about what produced
+them.
+
+Pickle is the payload codec for the same reason the result cache uses
+it: specs carry real dataclasses (machine descriptions, speculation and
+pipeline configs) and workers share the client's codebase.  The broker
+is a trusted, same-team service — not an internet-facing one; see
+``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any, Dict, List, Sequence
+
+from repro.runner.jobs import CODE_VERSION, Job
+
+#: Bump when the payload shape (not the job semantics) changes.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A payload that cannot be (safely) turned back into jobs."""
+
+
+def pack_job(job: Job) -> Dict[str, Any]:
+    return {
+        "key": job.key(),
+        "job_id": job.job_id,
+        "stage": job.spec.stage,
+        "deps": [dep.key() for dep in job.deps],
+        "blob": base64.b64encode(
+            pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def unpack_job(payload: Dict[str, Any]) -> Job:
+    """Decode one packed job, verifying its content hash.
+
+    The recomputed key must equal the packed one — a mismatch means the
+    sender and this process disagree on ``CODE_VERSION`` or on the spec
+    canonicalisation, and results would be cached under wrong addresses.
+    """
+    try:
+        job = pickle.loads(base64.b64decode(payload["blob"]))
+    except Exception as exc:  # noqa: BLE001 - any decode failure is fatal here
+        raise WireError(f"cannot decode job blob: {exc!r}") from exc
+    if not isinstance(job, Job):
+        raise WireError(f"decoded object is {type(job).__name__}, not Job")
+    if job.key() != payload.get("key"):
+        raise WireError(
+            f"job {payload.get('job_id')!r}: key mismatch after decode "
+            f"(sender {str(payload.get('key'))[:12]}…, "
+            f"local {job.key()[:12]}…) — CODE_VERSION skew between "
+            "client and worker?"
+        )
+    return job
+
+
+def pack_graph(jobs: Sequence[Job]) -> Dict[str, Any]:
+    """A submission payload for the broker (jobs must be a full closure)."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "code_version": CODE_VERSION,
+        "jobs": [pack_job(job) for job in jobs],
+    }
+
+
+def unpack_graph(payload: Dict[str, Any]) -> List[Job]:
+    check_wire_version(payload)
+    return [unpack_job(entry) for entry in payload.get("jobs", [])]
+
+
+def check_wire_version(payload: Dict[str, Any]) -> None:
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: payload v{version}, this end v{WIRE_VERSION}"
+        )

@@ -1,0 +1,275 @@
+"""The sweep worker: lease, execute through the local Runner, report.
+
+``repro-worker`` is the long-running process you point at a broker, one
+or many per host::
+
+    repro-worker --broker http://broker:8731 --cache-backend sqlite:/shared/cache.db
+    repro-worker --broker http://broker:8731            # cache via the broker (HTTP)
+
+Each leased job executes through the existing
+:class:`repro.runner.Runner` against the shared cache backend, so a
+worker is just a remote-controlled instance of the same machinery the
+CLI runs locally: dependency results resolve as cache hits, outputs are
+byte-identical, and a job whose dependencies were evicted simply
+recomputes them.
+
+Fault behaviour:
+
+- a **broker restart** shows up as connection errors; the worker's
+  reconnect loop retries with the shared jittered
+  :class:`~repro.runner.retry.RetryPolicy` and resumes leasing (queue
+  state is durable on the broker's disk);
+- a **worker death** mid-job leaves a lease that expires on the broker
+  and requeues for another worker — a background heartbeat thread keeps
+  long jobs leased for as long as the worker is actually alive;
+- a **job failure** reports ``ok=false``; the broker requeues it until
+  the attempt budget runs out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from repro.runner.cache import CacheBackend
+from repro.runner.events import EventLog
+from repro.runner.executor import Runner
+from repro.runner.retry import RECONNECT_POLICY, RetryPolicy
+from repro.service.client import ServiceClient, ServiceError, worker_id
+from repro.service.wire import WireError, unpack_job
+
+
+class Worker:
+    """Pulls jobs from one broker until stopped, idle-timed-out, or done.
+
+    Args:
+        client: broker connection.
+        cache: shared result store (must be reachable by the client that
+            will fetch results — usually the broker's own backend, or a
+            ``HTTPCache`` pointed at the broker).
+        name: worker identity for leases/heartbeats.
+        poll: idle sleep between empty lease attempts.
+        max_jobs: stop after this many executed jobs (tests/CI).
+        max_idle: stop after this long without work, ``None`` = forever.
+        retry: reconnect policy for lease-loop broker errors.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        cache: CacheBackend,
+        name: Optional[str] = None,
+        poll: float = 0.2,
+        max_jobs: Optional[int] = None,
+        max_idle: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_fraction: float = 0.33,
+    ):
+        self.client = client
+        self.cache = cache
+        self.name = name or worker_id()
+        self.poll = poll
+        self.max_jobs = max_jobs
+        self.max_idle = max_idle
+        self.retry = retry or RECONNECT_POLICY
+        self.heartbeat_fraction = heartbeat_fraction
+        self.executed = 0
+        self.stop_event = threading.Event()
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> int:
+        """Lease-execute-report until a stop condition; return jobs executed."""
+        idle_since = time.monotonic()
+        reconnects = 0
+        while not self.stop_event.is_set():
+            if self.max_jobs is not None and self.executed >= self.max_jobs:
+                break
+            try:
+                leased = self.client.lease(self.name)
+                reconnects = 0
+            except ServiceError:
+                # Broker down or restarting: back off (jittered so a
+                # fleet does not stampede the moment it returns) and try
+                # again; ServiceClient already burned its own quick
+                # retries before raising.
+                reconnects += 1
+                self.retry.sleep(reconnects, token=self.name)
+                continue
+            if leased is None:
+                if (
+                    self.max_idle is not None
+                    and time.monotonic() - idle_since > self.max_idle
+                ):
+                    break
+                self.stop_event.wait(self.poll)
+                continue
+            idle_since = time.monotonic()
+            self._execute(leased)
+        return self.executed
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+    # -- one job ---------------------------------------------------------------
+
+    def _execute(self, leased: dict) -> None:
+        key = str(leased.get("key", ""))
+        try:
+            job = unpack_job(leased)
+        except WireError as exc:
+            self._report(key, ok=False, error=f"wire error: {exc}")
+            return
+        stop_heartbeat = self._start_heartbeat(
+            key, float(leased.get("lease_timeout", 60.0))
+        )
+        events = EventLog()
+        t0 = time.monotonic()
+        try:
+            runner = Runner(jobs=1, cache=self.cache, events=events)
+            runner.run_job(job)
+        except Exception as exc:  # noqa: BLE001 - report any job failure upstream
+            self._report(key, ok=False, error=repr(exc))
+            return
+        finally:
+            stop_heartbeat.set()
+        self.executed += 1
+        # The runner's local event log says whether the leased job itself
+        # was served from the shared cache (dependencies always are).
+        cached = any(
+            event.get("key") == key for event in events.of_type("cache_hit")
+        )
+        self._report(
+            key,
+            ok=True,
+            cached=cached,
+            wall_time=round(time.monotonic() - t0, 6),
+        )
+
+    def _report(
+        self,
+        key: str,
+        ok: bool,
+        cached: bool = False,
+        wall_time: float = 0.0,
+        error: Optional[str] = None,
+    ) -> None:
+        attempt = 0
+        while True:
+            try:
+                self.client.complete(
+                    self.name, key, ok=ok, cached=cached,
+                    wall_time=wall_time, error=error,
+                )
+                return
+            except ServiceError:
+                # The result is already durably in the shared cache; only
+                # the bookkeeping is missing.  Keep trying briefly — if
+                # the broker stays down, the lease expires and another
+                # worker re-leases the job straight into a cache hit.
+                attempt += 1
+                if attempt > 5:
+                    return
+                self.retry.sleep(attempt, token=f"{self.name}:{key}")
+
+    def _start_heartbeat(self, key: str, lease_timeout: float) -> threading.Event:
+        """Extend the lease periodically until the returned event is set."""
+        stop = threading.Event()
+        interval = max(0.05, lease_timeout * self.heartbeat_fraction)
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.client.heartbeat(self.name, [key])
+                except ServiceError:
+                    pass  # broker will requeue on expiry if we are dead too
+
+        threading.Thread(
+            target=beat, name=f"heartbeat-{key[:8]}", daemon=True
+        ).start()
+        return stop
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Execute sweep jobs leased from a repro-serve broker.",
+    )
+    parser.add_argument(
+        "--broker",
+        required=True,
+        metavar="URL",
+        help="broker base URL, e.g. http://127.0.0.1:8731",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "shared result store (disk:/path, sqlite:/path.db, http://...); "
+            "default: the broker's own object store over HTTP"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity for leases (default: hostname + random suffix)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds to sleep when the queue is empty (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after executing this many jobs",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many seconds without work",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="shorthand for --max-jobs 1",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service.backends import HTTPCache, make_cache
+
+    client = ServiceClient(args.broker)
+    if args.cache_backend:
+        cache: CacheBackend = make_cache(args.cache_backend)
+    else:
+        cache = HTTPCache(args.broker)
+    worker = Worker(
+        client,
+        cache,
+        name=args.worker_id,
+        poll=args.poll,
+        max_jobs=1 if args.once else args.max_jobs,
+        max_idle=args.max_idle,
+    )
+    print(
+        f"repro-worker {worker.name}: broker {args.broker}, "
+        f"cache {cache.describe()}",
+        file=sys.stderr,
+    )
+    try:
+        executed = worker.run()
+    except KeyboardInterrupt:
+        executed = worker.executed
+    print(f"repro-worker {worker.name}: executed {executed} job(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

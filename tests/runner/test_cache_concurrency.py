@@ -1,0 +1,163 @@
+"""DiskCache under concurrent writers, readers, and clears.
+
+The contract under test (``DiskCache._atomic_write``): concurrent
+writers racing on one key win-or-noop — readers observe either a miss or
+one complete entry, never a torn file — and a ``clear()`` yanking shard
+directories out from under in-flight writes must not raise or corrupt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.runner.cache import DiskCache
+
+
+def _key(seed: str) -> str:
+    return hashlib.sha256(seed.encode()).hexdigest()
+
+
+def _hammer(threads_fn, count: int) -> list:
+    errors: list = []
+
+    def wrap(fn):
+        def run() -> None:
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        return run
+
+    threads = [
+        threading.Thread(target=wrap(threads_fn(n))) for n in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestConcurrentWriters:
+    def test_many_writers_one_key(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        key = _key("contended")
+        # Same key ⇒ by construction the same content; any writer's
+        # payload is an acceptable final state.
+        value = {"benchmark": "li", "cycles": 424242, "pad": list(range(500))}
+
+        def writer(n: int):
+            def body() -> None:
+                for _ in range(30):
+                    cache.put(key, value, manifest={"stage": "simulate"})
+                    hit, got = cache.get(key)
+                    assert hit and got == value
+
+            return body
+
+        assert _hammer(writer, 8) == []
+        assert cache.get(key) == (True, value)
+        assert cache.stats().entries == 1
+        # No stranded temporary files from lost races.
+        assert not list(cache.store.glob("*/*.tmp"))
+
+    def test_writers_on_distinct_keys(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+
+        def writer(n: int):
+            def body() -> None:
+                for i in range(20):
+                    key = _key(f"{n}-{i}")
+                    cache.put(key, (n, i), manifest={"stage": "test"})
+                    assert cache.get(key) == (True, (n, i))
+
+            return body
+
+        assert _hammer(writer, 6) == []
+        assert cache.stats().entries == 6 * 20
+
+    def test_writers_survive_a_concurrent_clear(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        stop = threading.Event()
+
+        def actor(n: int):
+            if n == 0:
+                def clearer() -> None:
+                    while not stop.is_set():
+                        cache.clear()
+
+                return clearer
+
+            def writer() -> None:
+                try:
+                    for i in range(60):
+                        key = _key(f"{n}-{i}")
+                        cache.put(key, i, manifest={"stage": "test"})
+                        hit, value = cache.get(key)
+                        # A racing clear may have taken the entry; a hit
+                        # must still decode to exactly what was written.
+                        assert not hit or value == i
+                finally:
+                    if n == 1:
+                        stop.set()
+
+            return writer
+
+        assert _hammer(actor, 5) == []
+        # The cache is still fully functional afterwards.
+        cache.put(_key("after"), "alive")
+        assert cache.get(_key("after")) == (True, "alive")
+
+    def test_readers_never_see_a_torn_entry(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        key = _key("torn")
+        # Two self-consistent payloads; a torn read would decode to
+        # neither (or fail to decode, which get() must treat as a miss).
+        payloads = [
+            {"version": 0, "blob": b"a" * 4096},
+            {"version": 1, "blob": b"b" * 4096},
+        ]
+        stop = threading.Event()
+
+        def actor(n: int):
+            if n < 2:
+                def writer() -> None:
+                    for _ in range(50):
+                        cache.put(key, payloads[n], manifest={"stage": "test"})
+                    stop.set()
+
+                return writer
+
+            def reader() -> None:
+                while not stop.is_set():
+                    hit, value = cache.get(key)
+                    if hit:
+                        assert value in payloads
+
+            return reader
+
+        assert _hammer(actor, 5) == []
+
+    def test_evict_racing_put_leaves_no_partial_state(self, tmp_path):
+        cache = DiskCache(root=tmp_path)
+        key = _key("churn")
+
+        def actor(n: int):
+            if n % 2 == 0:
+                def putter() -> None:
+                    for _ in range(50):
+                        cache.put(key, "value", manifest={"stage": "test"})
+
+                return putter
+
+            def evicter() -> None:
+                for _ in range(50):
+                    cache.evict(key)
+
+            return evicter
+
+        assert _hammer(actor, 4) == []
+        hit, value = cache.get(key)
+        assert not hit or value == "value"

@@ -100,8 +100,34 @@ class TestRetry:
             runner.run_job(_job("flaky", counter=str(counter), fail_times=2))
         # Two retries: 0.05 + 0.10 seconds of backoff at minimum.
         assert time.monotonic() - t0 >= 0.15
+        # Exponential growth with up to +50% deterministic jitter
+        # (RetryPolicy default): each delay lands in [base*2^k, 1.5x that].
         delays = [e["backoff"] for e in runner.events.of_type("job_retry")]
-        assert delays == [0.05, 0.1]
+        assert len(delays) == 2
+        assert 0.05 <= delays[0] <= 0.075
+        assert 0.10 <= delays[1] <= 0.15
+
+    def test_retry_delays_are_deterministic_per_job(self, tmp_path):
+        # Jitter is seeded by (job key, attempt): the same job retried in
+        # two separate runner sessions backs off identically, while two
+        # different jobs decorrelate.
+        first = _runner(tmp_path, jobs=1, retries=2, backoff=0.01)
+        with first:
+            first.run_job(
+                _job("flaky", counter=str(tmp_path / "a"), fail_times=2)
+            )
+        second = _runner(tmp_path / "2", jobs=1, retries=2, backoff=0.01)
+        with second:
+            second.run_job(
+                _job("flaky", benchmark="x", counter=str(tmp_path / "b"),
+                     fail_times=2)
+            )
+        # NB: the two jobs differ only in their counter param, so their
+        # keys differ and the jitter streams should not coincide.
+        first_delays = [e["backoff"] for e in first.events.of_type("job_retry")]
+        second_delays = [e["backoff"] for e in second.events.of_type("job_retry")]
+        assert len(first_delays) == len(second_delays) == 2
+        assert first_delays != second_delays
 
 
 class TestTimeout:

@@ -1,0 +1,221 @@
+"""Cache backends: SQLite store, HTTP client, and the spec resolver."""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.runner.cache import CacheBackend, DiskCache
+from repro.service.backends import HTTPCache, SQLiteCache, make_cache
+from repro.service.broker import Broker
+from repro.service.queue import SweepQueue
+
+
+def _key(seed: str) -> str:
+    return hashlib.sha256(seed.encode()).hexdigest()
+
+
+class TestSQLiteCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        value = {"cycles": 1234, "name": "li"}
+        cache.put(_key("a"), value, manifest={"stage": "simulate"})
+        hit, restored = cache.get(_key("a"))
+        assert hit and restored == value
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        hit, value = cache.get(_key("absent"))
+        assert not hit and value is None
+        assert cache.misses == 1
+
+    def test_has_without_decoding(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        assert not cache.has(_key("a"))
+        cache.put(_key("a"), 1)
+        assert cache.has(_key("a"))
+
+    def test_evict(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        cache.put(_key("a"), 1)
+        cache.evict(_key("a"))
+        assert not cache.has(_key("a"))
+
+    def test_corrupt_entry_is_a_miss_and_gets_evicted(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        cache.store_bytes(_key("bad"), b"\x80corrupt", {"stage": "simulate"})
+        hit, value = cache.get(_key("bad"))
+        assert not hit and value is None
+        assert not cache.has(_key("bad"))
+
+    def test_last_writer_wins_on_same_key(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        cache.put(_key("a"), "first")
+        cache.put(_key("a"), "second")
+        assert cache.get(_key("a")) == (True, "second")
+        assert cache.stats().entries == 1
+
+    def test_stats_by_stage(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        cache.put(_key("a"), [1] * 100, manifest={"stage": "simulate"})
+        cache.put(_key("b"), [2] * 100, manifest={"stage": "simulate"})
+        cache.put(_key("c"), "p", manifest={"stage": "profile"})
+        stats = cache.stats()
+        assert stats.backend == "sqlite"
+        assert stats.entries == 3
+        assert stats.by_stage == {"simulate": 2, "profile": 1}
+        assert stats.total_bytes > 0
+        assert stats.bytes_by_stage["simulate"] > stats.bytes_by_stage["profile"]
+
+    def test_clear_returns_count(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        for seed in "abc":
+            cache.put(_key(seed), seed)
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_disabled_mode_is_a_noop(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db", enabled=False)
+        cache.put(_key("a"), 1)
+        assert cache.get(_key("a")) == (False, None)
+        assert not (tmp_path / "c.db").exists() or cache.stats().entries == 0
+
+    def test_is_marked_shared(self, tmp_path):
+        assert SQLiteCache(tmp_path / "c.db").shared
+        assert not DiskCache(root=tmp_path).shared
+
+    def test_concurrent_threads_hammering_one_file(self, tmp_path):
+        cache = SQLiteCache(tmp_path / "c.db")
+        errors = []
+
+        def work(worker: int) -> None:
+            try:
+                local = SQLiteCache(tmp_path / "c.db")
+                for i in range(25):
+                    # Half the keys are contended across all workers,
+                    # half are private — both must survive.
+                    shared_key = _key(f"shared-{i % 5}")
+                    local.put(shared_key, {"i": i % 5})
+                    private_key = _key(f"worker-{worker}-{i}")
+                    local.put(private_key, (worker, i))
+                    assert local.get(private_key) == (True, (worker, i))
+                    hit, value = local.get(shared_key)
+                    assert hit and value == {"i": i % 5}
+                local.close()
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # 5 shared keys + 6 workers * 25 private keys.
+        assert cache.stats().entries == 5 + 6 * 25
+
+
+@pytest.fixture()
+def live_broker(tmp_path):
+    queue = SweepQueue(tmp_path / "queue.db")
+    cache = SQLiteCache(tmp_path / "cache.db")
+    broker = Broker(queue, cache)
+    broker.start()
+    yield broker
+    broker.stop()
+    cache.close()
+
+
+class TestHTTPCache:
+    def test_roundtrip_through_a_live_broker(self, live_broker):
+        cache = HTTPCache(live_broker.url)
+        value = {"cycles": 77}
+        cache.put(_key("a"), value, manifest={"stage": "simulate"})
+        assert cache.get(_key("a")) == (True, value)
+        # The broker's own backend really holds it.
+        assert live_broker.cache.has(_key("a"))
+
+    def test_miss_and_evict(self, live_broker):
+        cache = HTTPCache(live_broker.url)
+        assert cache.get(_key("absent")) == (False, None)
+        cache.put(_key("a"), 1)
+        cache.evict(_key("a"))
+        assert not cache.has(_key("a"))
+
+    def test_stats_proxy(self, live_broker):
+        cache = HTTPCache(live_broker.url)
+        cache.put(_key("a"), [0] * 50, manifest={"stage": "simulate"})
+        stats = cache.stats()
+        assert stats.backend == "http"
+        assert stats.entries == 1
+        assert stats.by_stage == {"simulate": 1}
+
+    def test_clear_proxy(self, live_broker):
+        cache = HTTPCache(live_broker.url)
+        cache.put(_key("a"), 1)
+        cache.put(_key("b"), 2)
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_url_normalisation(self):
+        assert HTTPCache("http://h:1").url == "http://h:1/cache"
+        assert HTTPCache("http://h:1/").url == "http://h:1/cache"
+        assert HTTPCache("http://h:1/cache").url == "http://h:1/cache"
+
+    def test_unreachable_broker_degrades_to_misses(self):
+        # A port nothing listens on: gets miss, puts drop, nothing raises.
+        cache = HTTPCache("http://127.0.0.1:9", timeout=0.5)
+        cache.put(_key("a"), 1)
+        assert cache.get(_key("a")) == (False, None)
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+
+
+class TestMakeCache:
+    def test_default_is_disk(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_URL", raising=False)
+        cache = make_cache(None, default_root=tmp_path)
+        assert isinstance(cache, DiskCache)
+        assert cache.root == tmp_path
+
+    def test_disk_specs(self, tmp_path):
+        assert isinstance(make_cache("disk"), DiskCache)
+        rooted = make_cache(f"disk:{tmp_path}/store")
+        assert isinstance(rooted, DiskCache)
+        assert rooted.root == tmp_path / "store"
+        bare_dir = make_cache(str(tmp_path / "elsewhere"))
+        assert isinstance(bare_dir, DiskCache)
+
+    def test_sqlite_specs(self, tmp_path):
+        explicit = make_cache(f"sqlite:{tmp_path}/c.db")
+        assert isinstance(explicit, SQLiteCache)
+        assert explicit.path == tmp_path / "c.db"
+        defaulted = make_cache("sqlite", default_root=tmp_path)
+        assert isinstance(defaulted, SQLiteCache)
+        assert defaulted.path == tmp_path / "cache.db"
+        by_suffix = make_cache(str(tmp_path / "bare.sqlite3"))
+        assert isinstance(by_suffix, SQLiteCache)
+
+    def test_http_specs(self):
+        cache = make_cache("http://broker:8731")
+        assert isinstance(cache, HTTPCache)
+        assert isinstance(make_cache("https://broker:8731"), HTTPCache)
+
+    def test_env_var_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_URL", f"sqlite:{tmp_path}/env.db")
+        cache = make_cache(None)
+        assert isinstance(cache, SQLiteCache)
+        assert cache.path == tmp_path / "env.db"
+
+    def test_explicit_spec_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_URL", "http://ignored:1")
+        assert isinstance(make_cache("disk", default_root=tmp_path), DiskCache)
+
+    def test_enabled_flag_propagates(self, tmp_path):
+        for spec in ("disk", f"sqlite:{tmp_path}/c.db", "http://h:1"):
+            cache = make_cache(spec, enabled=False)
+            assert isinstance(cache, CacheBackend)
+            assert not cache.enabled

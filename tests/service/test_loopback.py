@@ -1,0 +1,225 @@
+"""End-to-end loopback: broker + in-process workers + client adapter.
+
+The acceptance path of the sweep service: a real pipeline job graph
+(build → trace → profile → compile → simulate) submitted through
+:class:`ServiceRunner` to an in-process :class:`Broker`, executed by two
+:class:`Worker` threads sharing one SQLite cache, must produce results
+byte-identical to a local :class:`Runner` — and a warm resubmission must
+complete from cache, observable in the mirrored event stream.
+
+Fault paths ride on cheap synthetic stages: a worker that dies mid-job
+(simulated by a lease that is taken and never completed), and a job that
+fails until the attempt budget runs out.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from typing import List
+
+import pytest
+
+from repro.machine.configs import PLAYDOH_4W
+from repro.runner import DiskCache, EventLog, Runner
+from repro.runner.jobs import Job, JobSpec, register_stage, simulate_job
+from repro.service.backends import SQLiteCache
+from repro.service.broker import Broker
+from repro.service.client import ServiceClient, ServiceError, ServiceRunner
+from repro.service.queue import SweepQueue
+from repro.service.worker import Worker
+
+
+def _echo(spec: JobSpec, deps):
+    return {"benchmark": spec.benchmark, "token": spec.param("token")}
+
+
+def _boom(spec: JobSpec, deps):
+    raise RuntimeError("injected service failure")
+
+
+register_stage("svc-echo", _echo)
+register_stage("svc-boom", _boom)
+
+
+def _synthetic(stage: str, **params) -> Job:
+    return Job(JobSpec(stage, "x", params=tuple(sorted(params.items()))))
+
+
+class Loopback:
+    """One broker plus a stoppable pool of in-process worker threads."""
+
+    def __init__(self, tmp_path, lease_timeout: float = 30.0):
+        self.cache = SQLiteCache(tmp_path / "cache.db")
+        self.queue = SweepQueue(
+            tmp_path / "queue.db", lease_timeout=lease_timeout
+        )
+        self.broker = Broker(self.queue, self.cache).start()
+        self.url = self.broker.url
+        self.workers: List[Worker] = []
+        self.threads: List[threading.Thread] = []
+
+    def spawn_workers(self, count: int = 2, **kw) -> List[Worker]:
+        spawned = []
+        for n in range(len(self.workers), len(self.workers) + count):
+            worker = Worker(
+                ServiceClient(self.url),
+                self.cache,
+                name=f"loopback-w{n}",
+                poll=0.05,
+                **kw,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            self.workers.append(worker)
+            self.threads.append(thread)
+            spawned.append(worker)
+        return spawned
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+        self.broker.stop()
+        self.cache.close()
+
+
+@pytest.fixture()
+def loopback(tmp_path):
+    service = Loopback(tmp_path)
+    yield service
+    service.close()
+
+
+class TestLoopbackSweep:
+    def test_byte_identical_to_local_then_warm_from_cache(
+        self, tmp_path, loopback
+    ):
+        job = simulate_job("li", PLAYDOH_4W, scale=0.15)
+
+        # Reference: the same graph executed locally, cold disk cache.
+        with Runner(
+            jobs=1, cache=DiskCache(root=tmp_path / "local"), events=EventLog()
+        ) as local_runner:
+            local = local_runner.run([job])
+
+        # Cold service run: two workers share the broker's SQLite cache.
+        loopback.spawn_workers(2)
+        cold_events = EventLog()
+        cold = ServiceRunner(loopback.url, events=cold_events, poll=0.05).run(
+            [job]
+        )
+
+        assert set(cold) == set(local)
+        assert job.key() in cold
+        for key in local:
+            assert pickle.dumps(cold[key]) == pickle.dumps(local[key]), (
+                f"service result for {key[:12]}… differs from local"
+            )
+        # The cold run genuinely executed on the workers, and the
+        # mirrored event stream says so.
+        assert cold_events.executed == len(local)
+        assert cold_events.failures == 0
+
+        # Warm resubmission: every job settles from the queue/cache —
+        # the >=90% cache-completion acceptance bar, measured the same
+        # way the runner measures it, via cache_hit events.
+        warm_events = EventLog()
+        warm = ServiceRunner(loopback.url, events=warm_events, poll=0.05).run(
+            [job]
+        )
+        for key in local:
+            assert pickle.dumps(warm[key]) == pickle.dumps(local[key])
+        assert warm_events.executed == 0
+        assert warm_events.cache_hits >= 0.9 * len(local)
+        finishes = warm_events.of_type("job_finish")
+        assert len(finishes) == len(local)
+        assert all(event["cached"] for event in finishes)
+
+    def test_run_job_fast_path_skips_sweep_submission(self, loopback):
+        job = _synthetic("svc-echo", token="fast")
+        loopback.spawn_workers(1)
+        first = ServiceRunner(loopback.url, poll=0.05).run_job(job)
+        assert first == {"benchmark": "x", "token": "fast"}
+        sweeps_before = loopback.queue.counts()["sweeps"]
+        again = ServiceRunner(loopback.url, poll=0.05).run_job(job)
+        assert again == first
+        assert loopback.queue.counts()["sweeps"] == sweeps_before
+
+    def test_worker_side_cache_hit_is_reported_as_cached(self, loopback):
+        job = _synthetic("svc-echo", token="prewarmed")
+        expected = {"benchmark": "x", "token": "prewarmed"}
+        # The result is already in the shared store (e.g. from another
+        # broker sharing the backend) but the queue has never seen the
+        # job: the worker leases it and resolves it as a cache hit.
+        loopback.cache.put(job.key(), expected, manifest={"stage": "svc-echo"})
+        client = ServiceClient(loopback.url)
+        summary = client.submit([job])
+        loopback.spawn_workers(1)
+        events = EventLog()
+        result = ServiceRunner(loopback.url, events=events, poll=0.05).run([job])
+        assert result[job.key()] == expected
+        hits = [
+            e
+            for e in client.events(summary["sweep_id"])
+            if e["event"] == "cache_hit"
+        ]
+        assert hits and hits[0]["source"] == "worker"
+        assert events.executed == 0
+
+
+class TestFaultPaths:
+    def test_worker_death_mid_sweep_requeues_to_a_live_worker(self, tmp_path):
+        service = Loopback(tmp_path, lease_timeout=0.4)
+        try:
+            job = _synthetic("svc-echo", token="survivor")
+            client = ServiceClient(service.url)
+            summary = client.submit([job])
+            # A worker leases the job and dies without completing or
+            # heartbeating — exactly what a killed process looks like
+            # from the broker's side.
+            zombie_lease = client.lease("zombie")
+            assert zombie_lease is not None
+            assert zombie_lease["key"] == job.key()
+
+            service.spawn_workers(1)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                status = client.status(summary["sweep_id"])
+                if status["done"]:
+                    break
+                time.sleep(0.05)
+            assert status["done"] and status["ok"], status
+
+            events = client.events(summary["sweep_id"])
+            kinds = [e["event"] for e in events]
+            assert "job_requeued" in kinds
+            starts = [e for e in events if e["event"] == "job_start"]
+            assert starts[-1]["attempt"] == 2
+            assert starts[-1]["worker"] != "zombie"
+            payload = client.fetch_result_bytes(job.key())
+            assert pickle.loads(payload) == {
+                "benchmark": "x",
+                "token": "survivor",
+            }
+        finally:
+            service.close()
+
+    def test_failing_job_exhausts_budget_and_raises(self, loopback):
+        job = _synthetic("svc-boom", token="doomed")
+        loopback.spawn_workers(1)
+        events = EventLog()
+        runner = ServiceRunner(
+            loopback.url, events=events, poll=0.05, timeout=60.0
+        )
+        with pytest.raises(ServiceError, match="failed job"):
+            runner.run([job])
+        assert events.failures == 1
+        # Every queue-level attempt was a real execution attempt.
+        assert (
+            len(events.of_type("job_start")) == loopback.queue.max_attempts
+        )
+        status = loopback.queue.counts()
+        assert status["jobs"].get("failed") == 1

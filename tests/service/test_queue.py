@@ -1,0 +1,216 @@
+"""SweepQueue: dedup, dependency-ordered leasing, leases, retries, events.
+
+The queue never unpickles job blobs, so these tests drive it with
+hand-rolled packed entries — real content hashes are irrelevant here,
+only that keys are distinct strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.service.queue import SweepQueue
+
+
+def _key(seed: str) -> str:
+    return hashlib.sha256(seed.encode()).hexdigest()
+
+
+def _packed(seed: str, deps: Sequence[str] = ()) -> Dict[str, object]:
+    return {
+        "key": _key(seed),
+        "job_id": f"job:{seed}",
+        "stage": "test",
+        "deps": [_key(dep) for dep in deps],
+        "blob": "ZmFrZQ==",  # the queue schedules from the fields alone
+    }
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = SweepQueue(tmp_path / "queue.db", lease_timeout=60.0, max_attempts=3)
+    yield q
+    q.close()
+
+
+class TestSubmit:
+    def test_new_jobs_register_once(self, queue):
+        summary = queue.submit([_packed("a"), _packed("b")])
+        assert summary["total"] == 2
+        assert summary["new"] == 2
+        assert summary["deduped"] == 0
+        assert queue.counts()["jobs"] == {"pending": 2}
+
+    def test_concurrent_sweeps_dedup_by_key(self, queue):
+        first = queue.submit([_packed("a"), _packed("b")])
+        second = queue.submit([_packed("b"), _packed("c")])
+        assert second["new"] == 1
+        assert second["deduped"] == 1
+        # b exists once; both sweeps reference it.
+        assert queue.counts()["jobs"] == {"pending": 3}
+        assert first["sweep_id"] != second["sweep_id"]
+
+    def test_done_jobs_report_as_cache_hits_to_new_sweeps(self, queue):
+        queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        queue.complete("w1", leased["key"], ok=True)
+        summary = queue.submit([_packed("a")], result_exists=lambda key: True)
+        assert summary["done"] == 1
+        events = queue.events_since(summary["sweep_id"])
+        kinds = [e["event"] for e in events]
+        assert "cache_hit" in kinds
+        finishes = [e for e in events if e["event"] == "job_finish"]
+        assert finishes and finishes[0]["cached"] is True
+        status = queue.sweep_status(summary["sweep_id"])
+        assert status["done"] and status["ok"]
+
+    def test_done_job_with_evicted_result_is_recomputed(self, queue):
+        queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        queue.complete("w1", leased["key"], ok=True)
+        summary = queue.submit([_packed("a")], result_exists=lambda key: False)
+        assert summary["done"] == 0
+        assert queue.counts()["jobs"] == {"pending": 1}
+
+    def test_failed_job_gets_a_fresh_budget_on_resubmit(self, queue):
+        queue.submit([_packed("a")])
+        for _ in range(queue.max_attempts):
+            leased = queue.lease("w1")
+            queue.complete("w1", leased["key"], ok=False, error="boom")
+        assert queue.counts()["jobs"] == {"failed": 1}
+        queue.submit([_packed("a")])
+        assert queue.counts()["jobs"] == {"pending": 1}
+        # And it can now be leased again at attempt 1.
+        assert queue.lease("w1")["attempt"] == 1
+
+
+class TestLeasing:
+    def test_dependency_order(self, queue):
+        queue.submit(
+            [_packed("sim", deps=["comp"]), _packed("comp", deps=["prof"]),
+             _packed("prof")]
+        )
+        assert queue.pending_ready() == 1
+        first = queue.lease("w1")
+        assert first["job_id"] == "job:prof"
+        # Nothing else is ready while prof runs.
+        assert queue.lease("w2") is None
+        queue.complete("w1", first["key"], ok=True)
+        second = queue.lease("w1")
+        assert second["job_id"] == "job:comp"
+        queue.complete("w1", second["key"], ok=True)
+        assert queue.lease("w1")["job_id"] == "job:sim"
+
+    def test_absent_dependency_rows_count_as_satisfied(self, queue):
+        # A dep key the queue has never seen: the worker's runner will
+        # resolve it from the shared cache or recompute it locally.
+        queue.submit([_packed("sim", deps=["not-submitted"])])
+        assert queue.lease("w1") is not None
+
+    def test_empty_queue_leases_none(self, queue):
+        assert queue.lease("w1") is None
+
+    def test_lease_expiry_requeues(self, tmp_path):
+        queue = SweepQueue(tmp_path / "q.db", lease_timeout=0.05)
+        summary = queue.submit([_packed("a")])
+        assert queue.lease("dead-worker") is not None
+        assert queue.lease("other") is None
+        time.sleep(0.1)
+        released = queue.lease("other")
+        assert released is not None
+        assert released["attempt"] == 2
+        kinds = [e["event"] for e in queue.events_since(summary["sweep_id"])]
+        assert "job_requeued" in kinds
+        queue.close()
+
+    def test_heartbeat_extends_the_lease(self, tmp_path):
+        queue = SweepQueue(tmp_path / "q.db", lease_timeout=0.2)
+        queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        for _ in range(3):
+            time.sleep(0.1)
+            assert queue.heartbeat("w1", [leased["key"]]) == 1
+        # 0.3s elapsed > lease_timeout, but the heartbeats kept it alive.
+        assert queue.lease("other") is None
+        queue.close()
+
+    def test_heartbeat_ignores_leases_held_by_others(self, queue):
+        queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        assert queue.heartbeat("intruder", [leased["key"]]) == 0
+
+
+class TestCompletion:
+    def test_success_emits_miss_and_finish(self, queue):
+        summary = queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        outcome = queue.complete(
+            "w1", leased["key"], ok=True, cached=False, wall_time=1.5
+        )
+        assert outcome["state"] == "done"
+        events = queue.events_since(summary["sweep_id"])
+        kinds = [e["event"] for e in events]
+        assert kinds.count("cache_miss") == 1
+        finish = [e for e in events if e["event"] == "job_finish"][0]
+        assert finish["wall_time"] == 1.5 and finish["worker"] == "w1"
+
+    def test_worker_cache_hit_emits_cache_hit(self, queue):
+        summary = queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        queue.complete("w1", leased["key"], ok=True, cached=True)
+        events = queue.events_since(summary["sweep_id"])
+        hits = [e for e in events if e["event"] == "cache_hit"]
+        assert hits and hits[0]["source"] == "worker"
+
+    def test_failures_requeue_until_budget_exhausted(self, queue):
+        summary = queue.submit([_packed("a")])
+        for attempt in range(1, queue.max_attempts + 1):
+            leased = queue.lease("w1")
+            assert leased["attempt"] == attempt
+            outcome = queue.complete("w1", leased["key"], ok=False, error="boom")
+        assert outcome["state"] == "failed"
+        assert queue.lease("w1") is None
+        events = queue.events_since(summary["sweep_id"])
+        kinds = [e["event"] for e in events]
+        assert kinds.count("job_retry") == queue.max_attempts - 1
+        assert kinds.count("job_failed") == 1
+        status = queue.sweep_status(summary["sweep_id"])
+        assert status["done"] and not status["ok"]
+        assert status["failed"][0]["error"] == "boom"
+
+    def test_unknown_key_is_reported_not_crashed(self, queue):
+        assert queue.complete("w1", _key("ghost"), ok=True) == {
+            "state": "unknown"
+        }
+
+    def test_shared_job_notifies_every_sweep(self, queue):
+        first = queue.submit([_packed("a")])
+        second = queue.submit([_packed("a")])
+        leased = queue.lease("w1")
+        queue.complete("w1", leased["key"], ok=True)
+        for sweep_id in (first["sweep_id"], second["sweep_id"]):
+            kinds = [e["event"] for e in queue.events_since(sweep_id)]
+            assert "job_finish" in kinds
+            assert queue.sweep_status(sweep_id)["ok"]
+
+
+class TestEvents:
+    def test_events_since_paginates(self, queue):
+        summary = queue.submit([_packed("a")])
+        sweep_id = summary["sweep_id"]
+        first_batch = queue.events_since(sweep_id)
+        assert first_batch
+        cursor = first_batch[-1]["seq"]
+        assert queue.events_since(sweep_id, since=cursor) == []
+        leased = queue.lease("w1")
+        queue.complete("w1", leased["key"], ok=True)
+        fresh = queue.events_since(sweep_id, since=cursor)
+        assert [e["event"] for e in fresh][0] == "job_start"
+        assert all(e["seq"] > cursor for e in fresh)
+
+    def test_unknown_sweep_status_is_none(self, queue):
+        assert queue.sweep_status("feedface") is None

@@ -1,0 +1,84 @@
+"""Wire format: pack/unpack roundtrips and the key-skew tripwire."""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+import pytest
+
+from repro.machine.configs import PLAYDOH_4W
+from repro.runner.jobs import CODE_VERSION, Job, JobSpec, simulate_job
+from repro.service.wire import (
+    WIRE_VERSION,
+    WireError,
+    check_wire_version,
+    pack_graph,
+    pack_job,
+    unpack_graph,
+    unpack_job,
+)
+
+
+def _job(**params) -> Job:
+    return Job(JobSpec("wire-test", "x", params=tuple(sorted(params.items()))))
+
+
+class TestPackJob:
+    def test_roundtrip_preserves_identity(self):
+        job = simulate_job("li", PLAYDOH_4W, scale=0.5)
+        packed = pack_job(job)
+        assert packed["key"] == job.key()
+        assert packed["job_id"] == job.job_id
+        assert packed["stage"] == "simulate"
+        assert packed["deps"] == [dep.key() for dep in job.deps]
+        restored = unpack_job(packed)
+        assert restored == job
+        assert restored.key() == job.key()
+
+    def test_blob_is_json_safe(self):
+        import json
+
+        packed = pack_job(_job(n=1))
+        json.dumps(packed)  # must not raise
+
+    def test_key_mismatch_raises_wire_error(self):
+        packed = pack_job(_job(n=1))
+        packed["key"] = pack_job(_job(n=2))["key"]
+        with pytest.raises(WireError, match="key mismatch"):
+            unpack_job(packed)
+
+    def test_garbage_blob_raises_wire_error(self):
+        packed = pack_job(_job(n=1))
+        packed["blob"] = base64.b64encode(b"not a pickle").decode("ascii")
+        with pytest.raises(WireError, match="cannot decode"):
+            unpack_job(packed)
+
+    def test_non_job_pickle_raises_wire_error(self):
+        packed = pack_job(_job(n=1))
+        packed["blob"] = base64.b64encode(pickle.dumps({"not": "a job"})).decode(
+            "ascii"
+        )
+        with pytest.raises(WireError, match="not Job"):
+            unpack_job(packed)
+
+
+class TestPackGraph:
+    def test_roundtrip(self):
+        jobs = [_job(n=1), _job(n=2), _job(n=3)]
+        payload = pack_graph(jobs)
+        assert payload["wire_version"] == WIRE_VERSION
+        assert payload["code_version"] == CODE_VERSION
+        assert unpack_graph(payload) == jobs
+
+    def test_wire_version_mismatch_raises(self):
+        payload = pack_graph([_job(n=1)])
+        payload["wire_version"] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="wire version"):
+            check_wire_version(payload)
+        with pytest.raises(WireError, match="wire version"):
+            unpack_graph(payload)
+
+    def test_missing_wire_version_raises(self):
+        with pytest.raises(WireError, match="wire version"):
+            check_wire_version({"jobs": []})
