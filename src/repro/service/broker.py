@@ -111,6 +111,11 @@ def _make_handler(broker: Broker):
 
         # -- plumbing ----------------------------------------------------------
 
+        #: Reset per request; True once a status line may have hit the
+        #: wire, at which point a second response would desync the
+        #: keep-alive connection.
+        _response_begun = False
+
         def log_message(self, fmt: str, *args: Any) -> None:
             if broker.verbose:
                 sys.stderr.write(
@@ -119,6 +124,7 @@ def _make_handler(broker: Broker):
 
         def _json(self, status: int, payload: Dict[str, Any]) -> None:
             body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+            self._response_begun = True
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -126,11 +132,28 @@ def _make_handler(broker: Broker):
             self.wfile.write(body)
 
         def _bytes(self, status: int, body: bytes, content_type: str) -> None:
+            self._response_begun = True
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+
+        def _fail(self, exc: Exception) -> None:
+            """Report a handler fault without corrupting the connection.
+
+            If a response already started (e.g. a fault mid-write), a
+            second status line on the same HTTP/1.1 keep-alive socket
+            would desync the client — drop the connection instead.
+            """
+            if self._response_begun:
+                self.close_connection = True
+                self.log_message("aborting connection after %r", exc)
+                return
+            try:
+                self._json(500, {"error": repr(exc)})
+            except Exception:  # noqa: BLE001 - socket already gone
+                self.close_connection = True
 
         def _read_body(self) -> bytes:
             length = int(self.headers.get("Content-Length") or 0)
@@ -147,6 +170,7 @@ def _make_handler(broker: Broker):
         # -- GET ---------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._response_begun = False
             path, query = self._route()
             try:
                 if path == "/healthz":
@@ -180,11 +204,12 @@ def _make_handler(broker: Broker):
                     return self._bytes(200, body, "application/x-ndjson")
                 self._json(404, {"error": f"no route {path!r}"})
             except Exception as exc:  # noqa: BLE001 - report, don't kill the thread
-                self._json(500, {"error": repr(exc)})
+                self._fail(exc)
 
         # -- POST --------------------------------------------------------------
 
         def do_POST(self) -> None:  # noqa: N802
+            self._response_begun = False
             path, query = self._route()
             try:
                 if path == "/sweeps":
@@ -240,11 +265,12 @@ def _make_handler(broker: Broker):
                     return self._json(200, {"removed": broker.cache.clear()})
                 self._json(404, {"error": f"no route {path!r}"})
             except Exception as exc:  # noqa: BLE001
-                self._json(500, {"error": repr(exc)})
+                self._fail(exc)
 
         # -- PUT / DELETE ------------------------------------------------------
 
         def do_PUT(self) -> None:  # noqa: N802
+            self._response_begun = False
             path, _ = self._route()
             try:
                 match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
@@ -261,14 +287,18 @@ def _make_handler(broker: Broker):
                 broker.cache.store_bytes(match.group(1), payload, manifest)
                 self._json(200, {"stored": len(payload)})
             except Exception as exc:  # noqa: BLE001
-                self._json(500, {"error": repr(exc)})
+                self._fail(exc)
 
         def do_DELETE(self) -> None:  # noqa: N802
+            self._response_begun = False
             path, _ = self._route()
-            match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
-            if not match:
-                return self._json(404, {"error": f"no route {path!r}"})
-            broker.cache.evict(match.group(1))
-            self._json(200, {"evicted": match.group(1)})
+            try:
+                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+                if not match:
+                    return self._json(404, {"error": f"no route {path!r}"})
+                broker.cache.evict(match.group(1))
+                self._json(200, {"evicted": match.group(1)})
+            except Exception as exc:  # noqa: BLE001
+                self._fail(exc)
 
     return Handler

@@ -17,8 +17,19 @@ Job lifecycle::
     pending ──lease──► leased ──complete(ok)──► done
        ▲                 │  │
        │   lease expiry  │  └─complete(fail, attempts left)──► pending
-       └─────────────────┘
+       └─(attempts left)─┘
                          └─complete(fail, budget exhausted)──► failed
+
+A job that goes ``failed`` — by budget exhaustion on completion or on
+lease expiry — transitively fails every pending job that depends on it
+(``reason="dep_failed"``), so a mid-graph failure settles the whole
+sweep instead of stranding dependents ``pending`` forever.  A later
+resubmission of the same graph resets all of them to ``pending`` with a
+fresh budget.
+
+Completion reports are guarded by lease ownership: a worker whose lease
+expired (and whose job was re-leased elsewhere) gets ``state="stale"``
+back and cannot overwrite the outcome recorded by the current holder.
 
 Results never live here — they go to the shared
 :class:`repro.runner.cache.CacheBackend`; the queue records only states,
@@ -261,26 +272,126 @@ class SweepQueue:
 
     # -- worker protocol -------------------------------------------------------
 
+    def _fail_dependents(
+        self, conn: sqlite3.Connection, key: str, job_id: str
+    ) -> None:
+        """Transitively fail every pending job depending on ``key``.
+
+        Without this, a failed dependency leaves its dependents
+        ``pending`` forever — ``lease`` only hands out jobs whose deps
+        are all ``done``, so the sweep never settles and a client
+        polling ``sweep_status`` waits indefinitely.  Leased dependents
+        are left alone: they are already running against cached dep
+        results and will report their own outcome.
+        """
+        frontier = [(key, job_id)]
+        while frontier:
+            dep_key, dep_job_id = frontier.pop()
+            rows = conn.execute(
+                "SELECT j.key, j.job_id, j.stage FROM deps d "
+                "JOIN jobs j ON j.key = d.key "
+                "WHERE d.dep = ? AND j.state = 'pending'",
+                (dep_key,),
+            ).fetchall()
+            for child_key, child_job_id, stage in rows:
+                error = f"dependency failed: {dep_job_id} ({dep_key[:12]})"
+                conn.execute(
+                    "UPDATE jobs SET state = 'failed', worker = NULL, "
+                    "error = ? WHERE key = ?",
+                    (error, child_key),
+                )
+                self._emit(
+                    conn, self._sweeps_of(conn, child_key), "job_failed",
+                    job=child_job_id, stage=stage, key=child_key,
+                    attempts=0, error=error, reason="dep_failed",
+                )
+                frontier.append((child_key, child_job_id))
+
+    def _failed_dep_of(
+        self, conn: sqlite3.Connection, key: str
+    ) -> Optional[Tuple[str, str]]:
+        """``(job_id, key)`` of a failed dependency of ``key``, or ``None``.
+
+        Checked whenever a job transitions back to ``pending``: a
+        dependency can fail *while* this job is leased, in which case
+        the cascade in :meth:`_fail_dependents` ran too early to see it.
+        """
+        return conn.execute(
+            "SELECT dj.job_id, dj.key FROM deps d "
+            "JOIN jobs dj ON dj.key = d.dep "
+            "WHERE d.key = ? AND dj.state = 'failed' LIMIT 1",
+            (key,),
+        ).fetchone()
+
+    def _fail_blocked(
+        self,
+        conn: sqlite3.Connection,
+        key: str,
+        job_id: str,
+        stage: str,
+        dep: Tuple[str, str],
+    ) -> None:
+        """Fail ``key`` because dependency ``dep`` has already failed."""
+        dep_job_id, dep_key = dep
+        error = f"dependency failed: {dep_job_id} ({dep_key[:12]})"
+        conn.execute(
+            "UPDATE jobs SET state = 'failed', worker = NULL, error = ? "
+            "WHERE key = ?",
+            (error, key),
+        )
+        self._emit(
+            conn, self._sweeps_of(conn, key), "job_failed",
+            job=job_id, stage=stage, key=key, attempts=0, error=error,
+            reason="dep_failed",
+        )
+        self._fail_dependents(conn, key, job_id)
+
     def requeue_expired(self) -> int:
-        """Return timed-out leases to the pending pool."""
+        """Return timed-out leases to the pending pool.
+
+        A lease that expires with no attempts left fails instead — a
+        poison job that keeps killing its workers (OOM, segfault) must
+        not be re-leased forever.
+        """
         now = time.time()
         with self._txn() as conn:
             rows = conn.execute(
-                "SELECT key, job_id, stage, worker FROM jobs "
+                "SELECT key, job_id, stage, worker, attempts FROM jobs "
                 "WHERE state = 'leased' AND lease_expires < ?",
                 (now,),
             ).fetchall()
-            for key, job_id, stage, worker in rows:
-                conn.execute(
-                    "UPDATE jobs SET state = 'pending', worker = NULL "
-                    "WHERE key = ?",
-                    (key,),
-                )
-                self._emit(
-                    conn, self._sweeps_of(conn, key), "job_requeued",
-                    job=job_id, stage=stage, key=key, worker=worker,
-                    reason="lease expired",
-                )
+            for key, job_id, stage, worker, attempts in rows:
+                if attempts >= self.max_attempts:
+                    error = (
+                        f"lease expired on attempt {attempts}; "
+                        "retry budget exhausted"
+                    )
+                    conn.execute(
+                        "UPDATE jobs SET state = 'failed', worker = NULL, "
+                        "error = ? WHERE key = ?",
+                        (error, key),
+                    )
+                    self._emit(
+                        conn, self._sweeps_of(conn, key), "job_failed",
+                        job=job_id, stage=stage, key=key, attempts=attempts,
+                        error=error, worker=worker,
+                    )
+                    self._fail_dependents(conn, key, job_id)
+                else:
+                    dep = self._failed_dep_of(conn, key)
+                    if dep is not None:
+                        self._fail_blocked(conn, key, job_id, stage, dep)
+                        continue
+                    conn.execute(
+                        "UPDATE jobs SET state = 'pending', worker = NULL "
+                        "WHERE key = ?",
+                        (key,),
+                    )
+                    self._emit(
+                        conn, self._sweeps_of(conn, key), "job_requeued",
+                        job=job_id, stage=stage, key=key, worker=worker,
+                        reason="lease expired",
+                    )
         return len(rows)
 
     def lease(self, worker: str) -> Optional[Dict[str, Any]]:
@@ -346,15 +457,23 @@ class SweepQueue:
         wall_time: float = 0.0,
         error: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Record a lease outcome; failures requeue until the budget runs out."""
+        """Record a lease outcome; failures requeue until the budget runs out.
+
+        Only the current lease holder may report: a worker whose lease
+        expired and was handed to someone else gets ``state="stale"``
+        and cannot flip a job another worker already settled.
+        """
         with self._txn() as conn:
             row = conn.execute(
-                "SELECT job_id, stage, attempts FROM jobs WHERE key = ?",
+                "SELECT job_id, stage, attempts, state, worker "
+                "FROM jobs WHERE key = ?",
                 (key,),
             ).fetchone()
             if row is None:
                 return {"state": "unknown"}
-            job_id, stage, attempts = row
+            job_id, stage, attempts, state, holder = row
+            if state != "leased" or holder != worker:
+                return {"state": "stale", "attempts": attempts}
             sweeps = self._sweeps_of(conn, key)
             if ok:
                 conn.execute(
@@ -390,19 +509,25 @@ class SweepQueue:
                     job=job_id, stage=stage, key=key, attempts=attempts,
                     error=error, worker=worker,
                 )
+                self._fail_dependents(conn, key, job_id)
                 state = "failed"
             else:
-                conn.execute(
-                    "UPDATE jobs SET state = 'pending', worker = NULL, "
-                    "error = ? WHERE key = ?",
-                    (error, key),
-                )
-                self._emit(
-                    conn, sweeps, "job_retry",
-                    job=job_id, stage=stage, key=key, attempt=attempts,
-                    error=error, worker=worker, backoff=0.0,
-                )
-                state = "pending"
+                dep = self._failed_dep_of(conn, key)
+                if dep is not None:
+                    self._fail_blocked(conn, key, job_id, stage, dep)
+                    state = "failed"
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'pending', worker = NULL, "
+                        "error = ? WHERE key = ?",
+                        (error, key),
+                    )
+                    self._emit(
+                        conn, sweeps, "job_retry",
+                        job=job_id, stage=stage, key=key, attempt=attempts,
+                        error=error, worker=worker, backoff=0.0,
+                    )
+                    state = "pending"
         return {"state": state, "attempts": attempts}
 
     # -- status ----------------------------------------------------------------

@@ -23,7 +23,11 @@ Fault behaviour:
   and requeues for another worker — a background heartbeat thread keeps
   long jobs leased for as long as the worker is actually alive;
 - a **job failure** reports ``ok=false``; the broker requeues it until
-  the attempt budget runs out.
+  the attempt budget runs out;
+- a **dropped result write** (``HTTPCache`` swallows network faults into
+  no-op PUTs) is caught before reporting: the worker verifies the result
+  is actually in the shared store and reports a failure if not, so the
+  broker never records ``done`` for a result nobody can fetch.
 """
 
 from __future__ import annotations
@@ -142,6 +146,19 @@ class Worker:
         cached = any(
             event.get("key") == key for event in events.of_type("cache_hit")
         )
+        if not cached and self.cache.enabled and not self.cache.has(key):
+            # The store path can drop writes silently (HTTPCache swallows
+            # network faults into no-op PUTs).  Reporting ok here would
+            # mark the job 'done' with nothing behind it and strand the
+            # client's result fetch — report a failure so the attempt
+            # budget retries the job instead.
+            self._report(
+                key,
+                ok=False,
+                error="result missing from shared cache after execution "
+                "(store dropped?)",
+            )
+            return
         self._report(
             key,
             ok=True,

@@ -170,6 +170,22 @@ class TestLoopbackSweep:
         assert events.executed == 0
 
 
+class TestBrokerFaults:
+    def test_handler_fault_returns_500_and_keeps_serving(
+        self, loopback, monkeypatch
+    ):
+        client = ServiceClient(loopback.url)
+
+        def explode():
+            raise RuntimeError("backend fault")
+
+        monkeypatch.setattr(loopback.broker.cache, "stats", explode)
+        with pytest.raises(ServiceError, match="HTTP 500"):
+            client.cache_stats()
+        # The fault was reported on-protocol; the broker still serves.
+        assert client.health()["ok"] is True
+
+
 class TestFaultPaths:
     def test_worker_death_mid_sweep_requeues_to_a_live_worker(self, tmp_path):
         service = Loopback(tmp_path, lease_timeout=0.4)
@@ -223,3 +239,67 @@ class TestFaultPaths:
         )
         status = loopback.queue.counts()
         assert status["jobs"].get("failed") == 1
+
+    def test_mid_graph_failure_settles_instead_of_hanging(self, loopback):
+        # The common shape: a dependency deep in a build→…→simulate
+        # chain fails.  The dependent must be failed by cascade so the
+        # sweep settles and the client raises — with the default
+        # timeout=None this used to poll forever.
+        boom = _synthetic("svc-boom", token="root")
+        dependent = Job(
+            JobSpec("svc-echo", "x", params=(("token", "downstream"),)),
+            deps=(boom.spec,),
+        )
+        loopback.spawn_workers(1)
+        events = EventLog()
+        runner = ServiceRunner(
+            loopback.url, events=events, poll=0.05, timeout=60.0
+        )
+        with pytest.raises(ServiceError, match="failed job"):
+            runner.run([dependent])
+        status = loopback.queue.counts()
+        assert status["jobs"].get("failed") == 2
+        cascaded = [
+            e
+            for e in events.of_type("job_failed")
+            if e.get("reason") == "dep_failed"
+        ]
+        assert len(cascaded) == 1
+        # The dependent itself never reached a worker.
+        started = {e["key"] for e in events.of_type("job_start")}
+        assert dependent.key() not in started
+
+    def test_dropped_result_store_fails_instead_of_fake_done(self, tmp_path):
+        # A worker whose result PUT is silently swallowed (HTTPCache on
+        # a flaky network) must not report ok: the queue would record
+        # 'done' with nothing behind it and the client's fetch would
+        # blow up after a "successful" sweep.
+        class DroppingCache(SQLiteCache):
+            def store_bytes(self, key, payload, manifest):
+                pass
+
+        service = Loopback(tmp_path)
+        try:
+            worker = Worker(
+                ServiceClient(service.url),
+                DroppingCache(tmp_path / "dropping.db"),
+                name="droppy",
+                poll=0.05,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            client = ServiceClient(service.url)
+            job = _synthetic("svc-echo", token="vanishing")
+            summary = client.submit([job])
+            deadline = time.monotonic() + 30.0
+            status = client.status(summary["sweep_id"])
+            while time.monotonic() < deadline and not status["done"]:
+                time.sleep(0.05)
+                status = client.status(summary["sweep_id"])
+            assert status["done"] and not status["ok"], status
+            assert "missing from shared cache" in status["failed"][0]["error"]
+            assert client.fetch_result_bytes(job.key()) is None
+            worker.stop()
+            thread.join(timeout=10.0)
+        finally:
+            service.close()

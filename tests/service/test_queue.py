@@ -187,6 +187,29 @@ class TestCompletion:
             "state": "unknown"
         }
 
+    def test_complete_without_holding_the_lease_is_stale(self, queue):
+        # A report for a job nobody leased must not settle it.
+        queue.submit([_packed("a")])
+        assert queue.complete("w1", _key("a"), ok=True)["state"] == "stale"
+        assert queue.counts()["jobs"] == {"pending": 1}
+
+    def test_stale_worker_cannot_flip_a_settled_job(self, tmp_path):
+        # w1's lease expires mid-job; w2 re-leases and succeeds; w1's
+        # late failure report must bounce off, not corrupt the outcome.
+        queue = SweepQueue(tmp_path / "q.db", lease_timeout=0.05)
+        summary = queue.submit([_packed("a")])
+        first = queue.lease("w1")
+        time.sleep(0.1)
+        second = queue.lease("w2")
+        assert second is not None and second["key"] == first["key"]
+        assert queue.complete("w2", second["key"], ok=True)["state"] == "done"
+        late = queue.complete("w1", first["key"], ok=False, error="late crash")
+        assert late["state"] == "stale"
+        assert queue.counts()["jobs"] == {"done": 1}
+        status = queue.sweep_status(summary["sweep_id"])
+        assert status["done"] and status["ok"]
+        queue.close()
+
     def test_shared_job_notifies_every_sweep(self, queue):
         first = queue.submit([_packed("a")])
         second = queue.submit([_packed("a")])
@@ -196,6 +219,92 @@ class TestCompletion:
             kinds = [e["event"] for e in queue.events_since(sweep_id)]
             assert "job_finish" in kinds
             assert queue.sweep_status(sweep_id)["ok"]
+
+
+class TestFailureCascade:
+    def _chain(self):
+        return [
+            _packed("sim", deps=["comp"]),
+            _packed("comp", deps=["prof"]),
+            _packed("prof"),
+        ]
+
+    def test_mid_graph_failure_settles_the_whole_sweep(self, queue):
+        # The root of a build→…→simulate chain exhausts its budget; its
+        # dependents must fail transitively, not sit pending forever
+        # (which would hang every client polling sweep_status).
+        summary = queue.submit(self._chain())
+        for _ in range(queue.max_attempts):
+            leased = queue.lease("w1")
+            assert leased["job_id"] == "job:prof"
+            queue.complete("w1", leased["key"], ok=False, error="boom")
+        assert queue.counts()["jobs"] == {"failed": 3}
+        assert queue.lease("w1") is None
+        status = queue.sweep_status(summary["sweep_id"])
+        assert status["done"] and not status["ok"]
+        errors = {f["job"]: f["error"] for f in status["failed"]}
+        assert errors["job:prof"] == "boom"
+        assert errors["job:comp"].startswith("dependency failed: job:prof")
+        assert errors["job:sim"].startswith("dependency failed: job:comp")
+        events = queue.events_since(summary["sweep_id"])
+        cascaded = [e for e in events if e.get("reason") == "dep_failed"]
+        assert {e["job"] for e in cascaded} == {"job:comp", "job:sim"}
+
+    def test_resubmission_resets_cascade_failed_dependents(self, queue):
+        queue.submit(self._chain())
+        for _ in range(queue.max_attempts):
+            leased = queue.lease("w1")
+            queue.complete("w1", leased["key"], ok=False, error="boom")
+        assert queue.counts()["jobs"] == {"failed": 3}
+        queue.submit(self._chain())
+        assert queue.counts()["jobs"] == {"pending": 3}
+        assert queue.lease("w1")["job_id"] == "job:prof"
+
+    def test_lease_expiry_with_exhausted_budget_fails_job(self, tmp_path):
+        # A poison job that keeps killing its workers must not be
+        # re-leased forever once the attempt budget is spent.
+        queue = SweepQueue(
+            tmp_path / "q.db", lease_timeout=0.05, max_attempts=1
+        )
+        summary = queue.submit([_packed("a"), _packed("b", deps=["a"])])
+        assert queue.lease("doomed")["job_id"] == "job:a"
+        time.sleep(0.1)
+        assert queue.lease("other") is None
+        status = queue.sweep_status(summary["sweep_id"])
+        assert status["done"] and not status["ok"]
+        errors = {f["job"]: f["error"] for f in status["failed"]}
+        assert "budget exhausted" in errors["job:a"]
+        assert errors["job:b"].startswith("dependency failed: job:a")
+        queue.close()
+
+    def test_requeue_of_leased_dependent_sees_failed_dep(self, queue):
+        # b is leased (its dep a was done) when a is reset and fails:
+        # the cascade missed b, so b's own lease expiry must notice the
+        # failed dependency instead of requeueing b into a permanent
+        # pending state.
+        queue.submit([_packed("a"), _packed("b", deps=["a"])])
+        first = queue.lease("w1")
+        queue.complete("w1", first["key"], ok=True)
+        second = queue.lease("w2")
+        assert second["job_id"] == "job:b"
+        # The shared cache lost a's result; a resubmission recomputes it.
+        queue.submit(
+            [_packed("a"), _packed("b", deps=["a"])],
+            result_exists=lambda key: False,
+        )
+        for _ in range(queue.max_attempts):
+            leased = queue.lease("w1")
+            assert leased["job_id"] == "job:a"
+            queue.complete("w1", leased["key"], ok=False, error="boom")
+        # b was leased through all of that, so it is not failed yet...
+        assert queue.counts()["jobs"] == {"failed": 1, "leased": 1}
+        # ...but when its (dead) worker's lease expires, it must fail.
+        queue._conn().execute(
+            "UPDATE jobs SET lease_expires = 0 WHERE key = ?",
+            (second["key"],),
+        )
+        queue.requeue_expired()
+        assert queue.counts()["jobs"] == {"failed": 2}
 
 
 class TestEvents:
