@@ -1,0 +1,157 @@
+"""Structured JSON logging with propagated correlation IDs.
+
+The sweep service is a distributed system; grepping interleaved prints
+from a broker and a fleet of workers is how stuck sweeps stay stuck.
+This module replaces the ad-hoc ``print(..., file=sys.stderr)`` calls
+with one-line JSON records::
+
+    {"ts": 1754500000.123, "level": "info", "logger": "repro.worker",
+     "msg": "job finished", "worker_id": "host-a1b2c3",
+     "job_key": "9f86d081...", "sweep_id": "4c7a...", "wall_time": 0.41}
+
+Three pieces:
+
+* :func:`get_logger` — a named :class:`JsonLogger` with optional bound
+  fields, levels gated by ``$REPRO_LOG_LEVEL`` (default ``info``).
+* :func:`log_context` — a context manager pushing correlation fields
+  (``sweep_id`` / ``job_key`` / ``worker_id``) onto a
+  :mod:`contextvars` stack; every record emitted inside the ``with``
+  carries them.  Plain threads start with a fresh context — carry
+  fields across with ``contextvars.copy_context().run(...)``, or have
+  the thread bind its own identity (what the worker does).  They also
+  cross the wire: :class:`~repro.service.client.ServiceClient` serialises the
+  current context into an ``X-Repro-Context`` request header, and the
+  broker merges it into its own request logs — one ``job_key`` greps
+  the client submit, the broker lease, and the worker execution.
+* ``$REPRO_LOG_FORMAT=text`` — a human fallback rendering the same
+  records as ``LEVEL logger: msg k=v ...`` for interactive terminals.
+
+Records go to ``sys.stderr`` (resolved at write time, so test capture
+and redirection work) under a process-wide lock, one ``write()`` call
+per record so concurrent threads never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, Optional, Tuple
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_context: contextvars.ContextVar[Tuple[Tuple[str, Any], ...]] = (
+    contextvars.ContextVar("repro_log_context", default=())
+)
+_write_lock = threading.Lock()
+
+
+def context_fields() -> Dict[str, Any]:
+    """The correlation fields currently in scope (innermost wins)."""
+    return dict(_context.get())
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Push correlation fields for every record emitted inside the block."""
+    token = _context.set(_context.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def bind_context(**fields: Any) -> contextvars.Token:
+    """Non-scoped variant for long-lived owners (a worker's identity)."""
+    return _context.set(_context.get() + tuple(fields.items()))
+
+
+def _default_level() -> int:
+    name = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    return LEVELS.get(name, LEVELS["info"])
+
+
+def _text_format() -> bool:
+    return os.environ.get("REPRO_LOG_FORMAT", "").strip().lower() == "text"
+
+
+class JsonLogger:
+    """A named emitter of one-line JSON records.
+
+    ``stream=None`` resolves ``sys.stderr`` at *write* time, so pytest
+    capture, ``contextlib.redirect_stderr`` and daemonised processes all
+    see the records where they expect them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stream: Optional[IO[str]] = None,
+        level: Optional[int] = None,
+        **bound: Any,
+    ):
+        self.name = name
+        self.stream = stream
+        self.level = level if level is not None else _default_level()
+        self.bound = dict(bound)
+
+    def child(self, **bound: Any) -> "JsonLogger":
+        """A logger sharing this one's config with extra bound fields."""
+        merged = {**self.bound, **bound}
+        return JsonLogger(self.name, self.stream, self.level, **merged)
+
+    # -- emission -----------------------------------------------------------
+
+    def log(self, level: str, msg: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        if LEVELS.get(level, 0) < self.level:
+            return None
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "msg": msg,
+        }
+        record.update(context_fields())
+        record.update(self.bound)
+        record.update(fields)
+        stream = self.stream if self.stream is not None else sys.stderr
+        if _text_format():
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in record.items()
+                if k not in ("ts", "level", "logger", "msg")
+            )
+            line = f"{level.upper():7s} {self.name}: {msg}"
+            if extras:
+                line += f" [{extras}]"
+            line += "\n"
+        else:
+            line = json.dumps(record, default=str, sort_keys=False) + "\n"
+        with _write_lock:
+            try:
+                stream.write(line)
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # stderr gone (interpreter teardown); drop the record
+        return record
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        self.log("debug", msg, **fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self.log("info", msg, **fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self.log("warning", msg, **fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self.log("error", msg, **fields)
+
+
+def get_logger(name: str, **bound: Any) -> JsonLogger:
+    """A fresh :class:`JsonLogger`; cheap enough not to need a registry."""
+    return JsonLogger(name, **bound)

@@ -1,0 +1,249 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+:func:`encode_exposition` renders a snapshot in the `text exposition
+format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) that any Prometheus-compatible scraper ingests, and that
+``GET /metrics`` on the sweep broker serves.  The encoding is fully
+deterministic — families sorted by output name, series sorted by their
+rendered label set, label pairs sorted by key — so golden-file tests and
+``diff`` between two scrapes are meaningful.
+
+Mapping from the registry's ``name{label}`` keys:
+
+* dots become underscores and everything is prefixed with a namespace:
+  ``service.leases`` → ``repro_service_leases_total`` (counters get the
+  conventional ``_total`` suffix, gauges none);
+* a label string of the form ``k=v,k2=v2`` becomes proper Prometheus
+  label pairs; a bare label string ``X`` (the simulator's historical
+  style, e.g. ``predict.hit{stride+fcm}``) is rendered as
+  ``label="X"``;
+* histograms export as *summaries*: ``{quantile="0.5"|"0.95"|"0.99"}``
+  sample lines from the reservoir percentiles plus ``_sum`` and
+  ``_count``, and ``_min``/``_max`` companion gauges.
+
+Label values are escaped per the spec (``\\`` → ``\\\\``, ``"`` →
+``\\"``, newline → ``\\n``).  :func:`parse_exposition` is the minimal
+inverse — sample lines back into a ``{series: value}`` dict — used by
+``repro-top`` and the round-trip tests; it is not a general Prometheus
+parser.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import HistogramSummary, MetricsSnapshot
+
+#: Content type a compliant scraper expects from ``GET /metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?\s+(?P<value>\S+)\s*$"
+)
+
+#: Reservoir percentiles exported as summary quantiles.
+QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def sanitize_name(name: str, namespace: str = "repro") -> str:
+    """A metric-registry name as a legal Prometheus metric name."""
+    flat = _INVALID_NAME_CHARS.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if flat[:1].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def split_key(key: str) -> Tuple[str, Optional[str]]:
+    """``name{label}`` → ``(name, label)``; bare keys have label ``None``."""
+    if key.endswith("}") and "{" in key:
+        name, _, label = key.partition("{")
+        return name, label[:-1]
+    return key, None
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def label_pairs(label: Optional[str]) -> List[Tuple[str, str]]:
+    """Parse a registry label string into sorted Prometheus label pairs.
+
+    ``"worker=w1,stage=simulate"`` → ``[("stage", "simulate"),
+    ("worker", "w1")]``; a bare value (no ``=``) is a single pair under
+    the generic key ``label``.
+    """
+    if label is None or label == "":
+        return []
+    if "=" not in label:
+        return [("label", label)]
+    pairs = []
+    for part in label.split(","):
+        key, _, value = part.partition("=")
+        pairs.append((key.strip() or "label", value))
+    return sorted(pairs)
+
+
+def render_labels(
+    pairs: List[Tuple[str, str]], extra: List[Tuple[str, str]] = []
+) -> str:
+    merged = sorted(dict([*pairs, *extra]).items())
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"' for key, value in merged
+    )
+    return "{" + inner + "}"
+
+
+def format_value(value: float) -> str:
+    """Numbers formatted so the encoding is stable and round-trips."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def encode_exposition(
+    snapshot: MetricsSnapshot, namespace: str = "repro"
+) -> str:
+    """The snapshot as Prometheus text exposition (one trailing newline).
+
+    Series ordering is deterministic: families sorted by exported name
+    (counters, gauges, then summaries, interleaved alphabetically since
+    names rarely collide across kinds), samples within a family sorted
+    by rendered labels.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family(out_name: str, kind: str) -> Dict[str, object]:
+        entry = families.setdefault(
+            out_name, {"kind": kind, "samples": []}
+        )
+        if entry["kind"] != kind:
+            # Same exported name from two metric kinds: keep the first
+            # TYPE, the samples still carry correct values.
+            entry = families[out_name]
+        return entry
+
+    for key, value in snapshot.counters.items():
+        name, label = split_key(key)
+        out = sanitize_name(name, namespace) + "_total"
+        family(out, "counter")["samples"].append(  # type: ignore[union-attr]
+            (render_labels(label_pairs(label)), value)
+        )
+    for key, value in snapshot.gauges.items():
+        name, label = split_key(key)
+        out = sanitize_name(name, namespace)
+        family(out, "gauge")["samples"].append(  # type: ignore[union-attr]
+            (render_labels(label_pairs(label)), value)
+        )
+    for key, summary in snapshot.histograms.items():
+        name, label = split_key(key)
+        out = sanitize_name(name, namespace)
+        pairs = label_pairs(label)
+        entry = family(out, "summary")
+        for quantile, attr in QUANTILES:
+            q_value = getattr(summary, attr)
+            if q_value is None:
+                continue
+            entry["samples"].append(  # type: ignore[union-attr]
+                (
+                    render_labels(pairs, [("quantile", format_value(quantile))]),
+                    q_value,
+                )
+            )
+        rendered = render_labels(pairs)
+        entry.setdefault("companions", []).append(  # type: ignore[union-attr]
+            (rendered, summary)
+        )
+
+    lines: List[str] = []
+    for out_name in sorted(families):
+        entry = families[out_name]
+        kind = entry["kind"]
+        lines.append(f"# TYPE {out_name} {kind}")
+        for labels, value in sorted(entry["samples"]):  # type: ignore[union-attr]
+            lines.append(f"{out_name}{labels} {format_value(value)}")
+        for labels, summary in sorted(
+            entry.get("companions", []), key=lambda item: item[0]
+        ):  # type: ignore[union-attr]
+            lines.append(f"{out_name}_sum{labels} {format_value(summary.total)}")
+            lines.append(f"{out_name}_count{labels} {format_value(summary.count)}")
+        for labels, summary in sorted(
+            entry.get("companions", []), key=lambda item: item[0]
+        ):  # type: ignore[union-attr]
+            if summary.min is not None:
+                lines.append(
+                    f"{out_name}_min{labels} {format_value(summary.min)}"
+                )
+            if summary.max is not None:
+                lines.append(
+                    f"{out_name}_max{labels} {format_value(summary.max)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Sample lines back into ``{"name{labels}": value}``.
+
+    Comment and ``# TYPE`` lines are skipped; label strings are kept
+    verbatim (they were rendered deterministically, so exact-string keys
+    are stable).  Malformed lines are ignored rather than fatal — this
+    feeds a live dashboard, not a validator.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            continue
+        labels = match.group("labels") or ""
+        try:
+            out[match.group("name") + labels] = _parse_number(
+                match.group("value")
+            )
+        except ValueError:
+            continue
+    return out
+
+
+def histogram_from_samples(
+    samples: Dict[str, float], name: str, labels: str = ""
+) -> HistogramSummary:
+    """Reassemble count/total from parsed ``_sum``/``_count`` samples.
+
+    The quantile samples cannot reconstruct the reservoir, so the
+    returned summary carries exact count/total only — enough for rate
+    and mean computations in ``repro-top``.
+    """
+    return HistogramSummary(
+        count=int(samples.get(f"{name}_count{labels}", 0)),
+        total=float(samples.get(f"{name}_sum{labels}", 0.0)),
+    )

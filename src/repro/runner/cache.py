@@ -128,6 +128,11 @@ class CacheBackend:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        # Session byte throughput, feeding the service telemetry layer
+        # (``docs/OBSERVABILITY.md``): payload bytes decoded from and
+        # encoded into this backend by this process.
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     # -- value codec ---------------------------------------------------------
 
@@ -150,6 +155,7 @@ class CacheBackend:
         if payload is None:
             self.misses += 1
             return False, None
+        self.bytes_read += len(payload)
         try:
             value = self.decode(payload)
         except DECODE_ERRORS:
@@ -175,6 +181,7 @@ class CacheBackend:
         if not self.enabled:
             return None
         payload = self.encode(value)
+        self.bytes_written += len(payload)
         meta = {
             "key": key,
             "format_version": FORMAT_VERSION,
@@ -188,6 +195,15 @@ class CacheBackend:
     def has(self, key: str) -> bool:
         """Whether an entry exists, without decoding it."""
         return self.load_bytes(key) is not None
+
+    def telemetry(self) -> Dict[str, int]:
+        """This process's session counters, keyed for the metrics layer."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "read_bytes": self.bytes_read,
+            "written_bytes": self.bytes_written,
+        }
 
     def describe(self) -> str:
         """One-line human identification (backend + location)."""

@@ -27,8 +27,13 @@ hosts while hitting one deduplicated result cache:
     :class:`ServiceClient` (raw API) and :class:`ServiceRunner`, the
     Runner-shaped adapter behind ``repro-eval --service URL`` —
     byte-identical outputs to local execution.
+``top``
+    ``repro-top``: a live fleet dashboard polling the broker's
+    ``/metrics``, ``/workers`` and sweep endpoints (``--once --json``
+    for scripts/CI).
 
-See ``docs/SERVICE.md`` for deployment and the API reference.
+See ``docs/SERVICE.md`` for deployment and the API reference, and
+``docs/OBSERVABILITY.md`` for the telemetry the service exports.
 """
 
 from repro.service.backends import HTTPCache, SQLiteCache, make_cache

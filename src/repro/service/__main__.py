@@ -15,10 +15,11 @@ the process itself is disposable (see ``docs/SERVICE.md``).
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.runner.cache import default_cache_dir
 from repro.service.backends import make_cache
 from repro.service.broker import Broker
@@ -93,19 +94,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = make_cache(env) if env else make_cache(
             f"sqlite:{service_dir / 'cache.db'}"
         )
+    metrics = MetricsRegistry()
     queue = SweepQueue(
         queue_path,
         lease_timeout=args.lease_timeout,
         max_attempts=args.max_attempts,
+        metrics=metrics,
     )
     broker = Broker(
-        queue, cache, host=args.host, port=args.port, verbose=args.verbose
+        queue,
+        cache,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        metrics=metrics,
     )
-    print(
-        f"repro-serve: listening on {broker.url}\n"
-        f"repro-serve: queue {queue_path}\n"
-        f"repro-serve: cache {cache.describe()}",
-        file=sys.stderr,
+    log = get_logger("repro.serve")
+    log.info(
+        "broker listening",
+        url=broker.url,
+        queue=str(queue_path),
+        cache=cache.describe(),
+        metrics_endpoint=f"{broker.url}/metrics",
     )
     try:
         broker.serve_forever()

@@ -12,18 +12,34 @@ API (JSON unless noted):
 ==========================================  =================================
 ``POST /sweeps``                            submit a packed job graph
                                             (:func:`repro.service.wire.pack_graph`)
-``GET  /sweeps/<id>``                       sweep status/counts
+``GET  /sweeps/<id>``                       sweep status/counts/timestamps
 ``GET  /sweeps/<id>/events?since=N``        per-sweep JSONL event stream
 ``POST /worker/lease``                      ``{"worker": id}`` → one ready job
 ``POST /worker/complete``                   report a lease outcome
-``POST /worker/heartbeat``                  extend held leases
+``POST /worker/heartbeat``                  extend held leases; piggybacks the
+                                            worker's telemetry snapshot
+``GET  /workers``                           fleet view: last-heartbeat age,
+                                            jobs done/failed, current lease
+``GET  /metrics``                           Prometheus text exposition of the
+                                            merged broker + fleet telemetry
 ``GET  /cache/<key>``                       raw pickled result bytes | 404
 ``PUT  /cache/<key>``                       store result bytes
                                             (``X-Repro-Manifest`` header)
 ``GET  /cache/stats``                       backend stats JSON
 ``POST /cache/clear?force=1``               wipe the backend (403 w/o force)
-``GET  /healthz``                           liveness + queue totals
+``GET  /healthz``                           liveness + per-state job counts +
+                                            uptime + ready depth
 ==========================================  =================================
+
+Telemetry: the broker owns a :class:`~repro.obs.metrics.MetricsRegistry`
+(shared with its queue unless the queue brought its own) and serves it
+at ``GET /metrics`` merged with the latest snapshot each worker pushed
+over its heartbeat — one scrape sees queue depth, lease/complete rates
+and latency summaries, per-route HTTP latency, per-backend cache byte
+counters, and per-worker liveness gauges.  Request handling logs
+structured JSON (:mod:`repro.obs.logging`) carrying the correlation IDs
+clients propagate in the ``X-Repro-Context`` header.  See
+``docs/OBSERVABILITY.md`` for the metric catalog.
 
 Run it with ``repro-serve`` (see :mod:`repro.service.__main__`), or
 embed it in-process — the loopback tests do — via::
@@ -42,21 +58,53 @@ from __future__ import annotations
 
 import json
 import re
-import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs.logging import get_logger, log_context
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, NULL_METRICS
+from repro.obs.prometheus import CONTENT_TYPE, encode_exposition
 from repro.runner.cache import CacheBackend
 from repro.service.queue import SweepQueue
 from repro.service.wire import WireError, check_wire_version
 
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 
+#: ``(method, path regex, route label)`` for per-route HTTP metrics.
+_ROUTE_LABELS: Tuple[Tuple[str, re.Pattern, str], ...] = tuple(
+    (method, re.compile(pattern), label)
+    for method, pattern, label in (
+        ("GET", r"/healthz$", "healthz"),
+        ("GET", r"/metrics$", "metrics"),
+        ("GET", r"/workers$", "workers"),
+        ("GET", r"/cache/stats$", "cache_stats"),
+        ("GET", r"/cache/[0-9a-f]{64}$", "cache_get"),
+        ("PUT", r"/cache/[0-9a-f]{64}$", "cache_put"),
+        ("DELETE", r"/cache/[0-9a-f]{64}$", "cache_evict"),
+        ("GET", r"/sweeps/[0-9a-f]+/events$", "sweep_events"),
+        ("GET", r"/sweeps/[0-9a-f]+$", "sweep_status"),
+        ("POST", r"/sweeps$", "sweep_submit"),
+        ("POST", r"/worker/lease$", "lease"),
+        ("POST", r"/worker/complete$", "complete"),
+        ("POST", r"/worker/heartbeat$", "heartbeat"),
+        ("POST", r"/cache/clear$", "cache_clear"),
+    )
+)
+
+
+def _route_label(method: str, path: str) -> str:
+    """Bounded-cardinality route label for HTTP metrics (no raw paths)."""
+    for route_method, pattern, label in _ROUTE_LABELS:
+        if route_method == method and pattern.match(path):
+            return label
+    return "unknown"
+
 
 class Broker:
-    """Owns the HTTP server plus the queue and cache it fronts."""
+    """Owns the HTTP server plus the queue, cache, and telemetry it fronts."""
 
     def __init__(
         self,
@@ -65,10 +113,30 @@ class Broker:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.queue = queue
         self.cache = cache
         self.verbose = verbose
+        # One registry serves the whole process: prefer an explicit one,
+        # else adopt the queue's, else create our own — and make sure
+        # the queue shares it so lease/complete counters land in the
+        # same /metrics scrape.  (NULL_METRICS is the shared disabled
+        # default, never mutated — a queue carrying it simply hasn't
+        # been given telemetry yet.)
+        if metrics is not None:
+            self.metrics = metrics
+        elif queue.metrics is not NULL_METRICS:
+            self.metrics = queue.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        if queue.metrics is NULL_METRICS:
+            queue.metrics = self.metrics
+        self.log = get_logger("repro.broker")
+        self.started = time.time()
+        #: Latest heartbeat per worker: {"ts", "keys", "stats"}.
+        self._fleet: Dict[str, Dict[str, Any]] = {}
+        self._fleet_lock = threading.Lock()
         handler = _make_handler(self)
         self.server = ThreadingHTTPServer((host, port), handler)
         self.server.daemon_threads = True
@@ -104,6 +172,89 @@ class Broker:
     def __exit__(self, *exc: Any) -> None:
         self.stop()
 
+    # -- fleet bookkeeping -----------------------------------------------------
+
+    def record_heartbeat(
+        self, worker: str, keys: List[str], stats: Optional[Dict[str, Any]]
+    ) -> None:
+        """Remember the latest heartbeat (and telemetry push) per worker."""
+        with self._fleet_lock:
+            entry = self._fleet.setdefault(worker, {})
+            entry["ts"] = time.time()
+            entry["keys"] = list(keys)
+            if stats:
+                entry["stats"] = stats
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """Fleet view for ``GET /workers``, sorted by worker id."""
+        now = time.time()
+        out = []
+        with self._fleet_lock:
+            fleet = {w: dict(entry) for w, entry in self._fleet.items()}
+        for worker, entry in sorted(fleet.items()):
+            stats = entry.get("stats", {})
+            out.append(
+                {
+                    "worker": worker,
+                    "last_heartbeat_age_seconds": round(
+                        max(0.0, now - entry.get("ts", now)), 3
+                    ),
+                    "leased_keys": entry.get("keys", []),
+                    "current": stats.get("current"),
+                    "executed": stats.get("executed", 0),
+                    "failed": stats.get("failed", 0),
+                    "started": stats.get("started"),
+                }
+            )
+        return out
+
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry_snapshot(self) -> MetricsSnapshot:
+        """Broker registry + live gauges + the fleet's pushed snapshots.
+
+        Counters accumulate in the registry; *current-value* gauges
+        (queue depth per state, ready jobs, uptime, fleet size) are
+        synthesized fresh per scrape — the registry's max-keeping gauge
+        semantics suit simulator peaks, not queue levels.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = dict(snapshot.counters)
+        for field, value in self.cache.telemetry().items():
+            counters[f"service.cache.{field}{{backend={self.cache.name}}}"] = value
+        gauges = dict(snapshot.gauges)
+        counts = self.queue.counts()
+        for state, count in counts["jobs"].items():
+            gauges[f"service.jobs{{state={state}}}"] = count
+        gauges["service.sweeps"] = counts["sweeps"]
+        gauges["service.pending_ready"] = self.queue.pending_ready()
+        gauges["service.uptime_seconds"] = round(time.time() - self.started, 3)
+        merged = MetricsSnapshot(
+            counters, gauges, {k: v.copy() for k, v in snapshot.histograms.items()}
+        )
+        now = time.time()
+        with self._fleet_lock:
+            fleet = {
+                w: dict(entry) for w, entry in sorted(self._fleet.items())
+            }
+        worker_gauges: Dict[str, float] = {}
+        for worker, entry in fleet.items():
+            worker_gauges[
+                f"service.worker.last_heartbeat_age_seconds{{worker={worker}}}"
+            ] = round(max(0.0, now - entry.get("ts", now)), 3)
+            pushed = (entry.get("stats") or {}).get("metrics")
+            if pushed:
+                try:
+                    merged = merged.merged(MetricsSnapshot.from_dict(pushed))
+                except (TypeError, ValueError, AttributeError):
+                    self.log.warning(
+                        "discarding malformed worker metrics push",
+                        worker_id=worker,
+                    )
+        merged.gauges.update(worker_gauges)
+        merged.gauges["service.workers"] = len(fleet)
+        return merged
+
 
 def _make_handler(broker: Broker):
     class Handler(BaseHTTPRequestHandler):
@@ -115,21 +266,21 @@ def _make_handler(broker: Broker):
         #: wire, at which point a second response would desync the
         #: keep-alive connection.
         _response_begun = False
+        _status_sent = 0
 
         def log_message(self, fmt: str, *args: Any) -> None:
             if broker.verbose:
-                sys.stderr.write(
-                    f"broker: {self.address_string()} {fmt % args}\n"
+                broker.log.debug(
+                    "http.server: " + fmt % args, peer=self.address_string()
                 )
+
+        def send_response(self, code: int, message: Optional[str] = None) -> None:
+            self._status_sent = code
+            super().send_response(code, message)
 
         def _json(self, status: int, payload: Dict[str, Any]) -> None:
             body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
-            self._response_begun = True
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            self._bytes(status, body, "application/json")
 
         def _bytes(self, status: int, body: bytes, content_type: str) -> None:
             self._response_begun = True
@@ -146,6 +297,10 @@ def _make_handler(broker: Broker):
             second status line on the same HTTP/1.1 keep-alive socket
             would desync the client — drop the connection instead.
             """
+            broker.log.error(
+                "handler fault", error=repr(exc), path=self.path,
+                **self._correlation(),
+            )
             if self._response_begun:
                 self.close_connection = True
                 self.log_message("aborting connection after %r", exc)
@@ -167,138 +322,208 @@ def _make_handler(broker: Broker):
             query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
             return parsed.path.rstrip("/") or "/", query
 
+        def _correlation(self) -> Dict[str, Any]:
+            """Correlation IDs propagated by the client (bounded, flat)."""
+            header = self.headers.get("X-Repro-Context")
+            if not header:
+                return {}
+            try:
+                fields = json.loads(header)
+            except json.JSONDecodeError:
+                return {}
+            if not isinstance(fields, dict):
+                return {}
+            return {
+                str(k): v
+                for k, v in list(fields.items())[:8]
+                if isinstance(v, (str, int, float, bool))
+            }
+
+        def _dispatch(self, method: str, handler) -> None:
+            """Route one request through timing + structured logging."""
+            self._response_begun = False
+            self._status_sent = 0
+            path, query = self._route()
+            label = _route_label(method, path)
+            t0 = time.monotonic()
+            try:
+                with log_context(**self._correlation()):
+                    handler(path, query)
+            except Exception as exc:  # noqa: BLE001 - report, don't kill the thread
+                self._fail(exc)
+            finally:
+                elapsed = time.monotonic() - t0
+                broker.metrics.inc("service.http_requests", label=label)
+                broker.metrics.observe(
+                    "service.http_seconds", elapsed, label=label
+                )
+                if self._status_sent >= 500:
+                    broker.metrics.inc("service.http_errors", label=label)
+                broker.log.debug(
+                    "request",
+                    method=method,
+                    route=label,
+                    path=path,
+                    status=self._status_sent,
+                    seconds=round(elapsed, 6),
+                    **self._correlation(),
+                )
+
         # -- GET ---------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            self._response_begun = False
-            path, query = self._route()
-            try:
-                if path == "/healthz":
-                    payload = {"ok": True, **broker.queue.counts()}
-                    payload["cache"] = broker.cache.describe()
-                    return self._json(200, payload)
-                if path == "/cache/stats":
-                    return self._json(200, broker.cache.stats().as_dict())
-                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
-                if match:
-                    payload = broker.cache.load_bytes(match.group(1))
-                    if payload is None:
-                        return self._json(404, {"error": "miss"})
-                    return self._bytes(
-                        200, payload, "application/octet-stream"
-                    )
-                match = re.fullmatch(r"/sweeps/([0-9a-f]+)", path)
-                if match:
-                    status = broker.queue.sweep_status(match.group(1))
-                    if status is None:
-                        return self._json(404, {"error": "unknown sweep"})
-                    return self._json(200, status)
-                match = re.fullmatch(r"/sweeps/([0-9a-f]+)/events", path)
-                if match:
-                    since = int(query.get("since", 0))
-                    records = broker.queue.events_since(match.group(1), since)
-                    body = "".join(
-                        json.dumps(record, default=str) + "\n"
-                        for record in records
-                    ).encode("utf-8")
-                    return self._bytes(200, body, "application/x-ndjson")
-                self._json(404, {"error": f"no route {path!r}"})
-            except Exception as exc:  # noqa: BLE001 - report, don't kill the thread
-                self._fail(exc)
+            self._dispatch("GET", self._get)
+
+        def _get(self, path: str, query: Dict[str, Any]) -> None:
+            if path == "/healthz":
+                counts = broker.queue.counts()
+                payload = {
+                    "ok": True,
+                    **counts,
+                    "pending_ready": broker.queue.pending_ready(),
+                    "uptime_seconds": round(time.time() - broker.started, 3),
+                    "workers": len(broker.workers()),
+                }
+                payload["cache"] = broker.cache.describe()
+                return self._json(200, payload)
+            if path == "/metrics":
+                body = encode_exposition(broker.telemetry_snapshot()).encode(
+                    "utf-8"
+                )
+                return self._bytes(200, body, CONTENT_TYPE)
+            if path == "/workers":
+                return self._json(200, {"workers": broker.workers()})
+            if path == "/cache/stats":
+                return self._json(200, broker.cache.stats().as_dict())
+            match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+            if match:
+                payload = broker.cache.load_bytes(match.group(1))
+                if payload is None:
+                    return self._json(404, {"error": "miss"})
+                return self._bytes(200, payload, "application/octet-stream")
+            match = re.fullmatch(r"/sweeps/([0-9a-f]+)", path)
+            if match:
+                status = broker.queue.sweep_status(match.group(1))
+                if status is None:
+                    return self._json(404, {"error": "unknown sweep"})
+                return self._json(200, status)
+            match = re.fullmatch(r"/sweeps/([0-9a-f]+)/events", path)
+            if match:
+                since = int(query.get("since", 0))
+                records = broker.queue.events_since(match.group(1), since)
+                body = "".join(
+                    json.dumps(record, default=str) + "\n"
+                    for record in records
+                ).encode("utf-8")
+                return self._bytes(200, body, "application/x-ndjson")
+            self._json(404, {"error": f"no route {path!r}"})
 
         # -- POST --------------------------------------------------------------
 
         def do_POST(self) -> None:  # noqa: N802
-            self._response_begun = False
-            path, query = self._route()
-            try:
-                if path == "/sweeps":
-                    payload = self._read_json()
-                    try:
-                        check_wire_version(payload)
-                    except WireError as exc:
-                        return self._json(400, {"error": str(exc)})
-                    jobs = payload.get("jobs", [])
-                    for entry in jobs:
-                        key = entry.get("key", "")
-                        if not _KEY_RE.fullmatch(str(key)):
-                            return self._json(
-                                400, {"error": f"malformed job key {key!r}"}
-                            )
-                    summary = broker.queue.submit(
-                        jobs, result_exists=broker.cache.has
-                    )
-                    return self._json(200, summary)
-                if path == "/worker/lease":
-                    payload = self._read_json()
-                    job = broker.queue.lease(str(payload.get("worker", "?")))
-                    return self._json(200, {"job": job})
-                if path == "/worker/complete":
-                    payload = self._read_json()
-                    outcome = broker.queue.complete(
-                        worker=str(payload.get("worker", "?")),
-                        key=str(payload.get("key", "")),
-                        ok=bool(payload.get("ok")),
-                        cached=bool(payload.get("cached")),
-                        wall_time=float(payload.get("wall_time", 0.0)),
+            self._dispatch("POST", self._post)
+
+        def _post(self, path: str, query: Dict[str, Any]) -> None:
+            if path == "/sweeps":
+                payload = self._read_json()
+                try:
+                    check_wire_version(payload)
+                except WireError as exc:
+                    return self._json(400, {"error": str(exc)})
+                jobs = payload.get("jobs", [])
+                for entry in jobs:
+                    key = entry.get("key", "")
+                    if not _KEY_RE.fullmatch(str(key)):
+                        return self._json(
+                            400, {"error": f"malformed job key {key!r}"}
+                        )
+                summary = broker.queue.submit(
+                    jobs, result_exists=broker.cache.has
+                )
+                broker.log.info(
+                    "sweep submitted",
+                    sweep_id=summary["sweep_id"],
+                    total=summary["total"],
+                    new=summary["new"],
+                    deduped=summary["deduped"],
+                )
+                return self._json(200, summary)
+            if path == "/worker/lease":
+                payload = self._read_json()
+                job = broker.queue.lease(str(payload.get("worker", "?")))
+                return self._json(200, {"job": job})
+            if path == "/worker/complete":
+                payload = self._read_json()
+                outcome = broker.queue.complete(
+                    worker=str(payload.get("worker", "?")),
+                    key=str(payload.get("key", "")),
+                    ok=bool(payload.get("ok")),
+                    cached=bool(payload.get("cached")),
+                    wall_time=float(payload.get("wall_time", 0.0)),
+                    error=payload.get("error"),
+                )
+                if not payload.get("ok"):
+                    broker.log.warning(
+                        "job reported failed",
+                        worker_id=str(payload.get("worker", "?")),
+                        job_key=str(payload.get("key", "")),
+                        state=outcome.get("state"),
                         error=payload.get("error"),
                     )
-                    return self._json(200, outcome)
-                if path == "/worker/heartbeat":
-                    payload = self._read_json()
-                    extended = broker.queue.heartbeat(
-                        str(payload.get("worker", "?")),
-                        [str(k) for k in payload.get("keys", [])],
+                return self._json(200, outcome)
+            if path == "/worker/heartbeat":
+                payload = self._read_json()
+                worker = str(payload.get("worker", "?"))
+                keys = [str(k) for k in payload.get("keys", [])]
+                stats = payload.get("stats")
+                broker.record_heartbeat(
+                    worker, keys, stats if isinstance(stats, dict) else None
+                )
+                extended = broker.queue.heartbeat(worker, keys)
+                return self._json(200, {"extended": extended})
+            if path == "/cache/clear":
+                if query.get("force") not in ("1", "true", "yes"):
+                    return self._json(
+                        403,
+                        {
+                            "error": (
+                                "refusing to clear a shared cache "
+                                "without force=1"
+                            )
+                        },
                     )
-                    return self._json(200, {"extended": extended})
-                if path == "/cache/clear":
-                    if query.get("force") not in ("1", "true", "yes"):
-                        return self._json(
-                            403,
-                            {
-                                "error": (
-                                    "refusing to clear a shared cache "
-                                    "without force=1"
-                                )
-                            },
-                        )
-                    return self._json(200, {"removed": broker.cache.clear()})
-                self._json(404, {"error": f"no route {path!r}"})
-            except Exception as exc:  # noqa: BLE001
-                self._fail(exc)
+                return self._json(200, {"removed": broker.cache.clear()})
+            self._json(404, {"error": f"no route {path!r}"})
 
         # -- PUT / DELETE ------------------------------------------------------
 
         def do_PUT(self) -> None:  # noqa: N802
-            self._response_begun = False
-            path, _ = self._route()
-            try:
-                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
-                if not match:
-                    return self._json(404, {"error": f"no route {path!r}"})
-                payload = self._read_body()
-                manifest: Dict[str, Any] = {}
-                header = self.headers.get("X-Repro-Manifest")
-                if header:
-                    try:
-                        manifest = json.loads(header)
-                    except json.JSONDecodeError:
-                        manifest = {}
-                broker.cache.store_bytes(match.group(1), payload, manifest)
-                self._json(200, {"stored": len(payload)})
-            except Exception as exc:  # noqa: BLE001
-                self._fail(exc)
+            self._dispatch("PUT", self._put)
+
+        def _put(self, path: str, query: Dict[str, Any]) -> None:
+            match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+            if not match:
+                return self._json(404, {"error": f"no route {path!r}"})
+            payload = self._read_body()
+            manifest: Dict[str, Any] = {}
+            header = self.headers.get("X-Repro-Manifest")
+            if header:
+                try:
+                    manifest = json.loads(header)
+                except json.JSONDecodeError:
+                    manifest = {}
+            broker.cache.store_bytes(match.group(1), payload, manifest)
+            broker.metrics.inc("service.cache.http_put_bytes", len(payload))
+            self._json(200, {"stored": len(payload)})
 
         def do_DELETE(self) -> None:  # noqa: N802
-            self._response_begun = False
-            path, _ = self._route()
-            try:
-                match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
-                if not match:
-                    return self._json(404, {"error": f"no route {path!r}"})
-                broker.cache.evict(match.group(1))
-                self._json(200, {"evicted": match.group(1)})
-            except Exception as exc:  # noqa: BLE001
-                self._fail(exc)
+            self._dispatch("DELETE", self._delete)
+
+        def _delete(self, path: str, query: Dict[str, Any]) -> None:
+            match = re.fullmatch(r"/cache/([0-9a-f]{64})", path)
+            if not match:
+                return self._json(404, {"error": f"no route {path!r}"})
+            broker.cache.evict(match.group(1))
+            self._json(200, {"evicted": match.group(1)})
 
     return Handler

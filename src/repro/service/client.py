@@ -14,6 +14,13 @@ store.  The broker's per-sweep event stream is mirrored into the local
 :class:`~repro.runner.events.EventLog` (``--events`` keeps working), so
 cache-hit accounting is observable on the client exactly as it is
 locally.
+
+Correlation: every request carries the caller's current
+:func:`repro.obs.logging.context_fields` as an ``X-Repro-Context``
+header, and :class:`ServiceRunner` runs each sweep inside
+``log_context(sweep_id=...)`` — so the broker's request logs, the
+worker's job logs, and the client's own records all grep by the same
+``sweep_id``/``job_key`` (``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import urllib.request
 import uuid
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.obs.logging import context_fields, get_logger, log_context
 from repro.runner.cache import CacheBackend
 from repro.runner.events import EventLog
 from repro.runner.graph import JobGraph
@@ -70,13 +78,28 @@ class ServiceClient:
         data = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
+        headers: Dict[str, str] = (
+            {"Content-Type": "application/json"} if data else {}
+        )
+        context = {
+            k: v
+            for k, v in context_fields().items()
+            if isinstance(v, (str, int, float, bool))
+        }
+        if context:
+            # Propagate correlation IDs (sweep_id/job_key/worker_id) so
+            # the broker's request logs join with ours.  Single header
+            # line: keep it bounded and newline-free.
+            header = json.dumps(context, default=str)[:2048]
+            if "\n" not in header:
+                headers["X-Repro-Context"] = header
         attempt = 0
         while True:
             request = urllib.request.Request(
                 f"{self.url}{path}",
                 data=data,
                 method=method,
-                headers={"Content-Type": "application/json"} if data else {},
+                headers=headers,
             )
             try:
                 with urllib.request.urlopen(
@@ -165,12 +188,29 @@ class ServiceClient:
             },
         )
 
-    def heartbeat(self, worker: str, keys: List[str]) -> int:
+    def heartbeat(
+        self,
+        worker: str,
+        keys: List[str],
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        payload: Dict[str, Any] = {"worker": worker, "keys": keys}
+        if stats is not None:
+            payload["stats"] = stats
         return int(
-            self.request(
-                "POST", "/worker/heartbeat", {"worker": worker, "keys": keys}
-            ).get("extended", 0)
+            self.request("POST", "/worker/heartbeat", payload).get(
+                "extended", 0
+            )
         )
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """The broker's fleet view (``GET /workers``)."""
+        return self.request("GET", "/workers").get("workers", [])
+
+    def metrics_text(self) -> str:
+        """The broker's Prometheus exposition (``GET /metrics``), raw."""
+        body = self.request_bytes("GET", "/metrics")
+        return (body or b"").decode("utf-8")
 
     def fetch_result_bytes(self, key: str) -> Optional[bytes]:
         return self.request_bytes("GET", f"/cache/{key}", allow_404=True)
@@ -204,6 +244,7 @@ class ServiceRunner:
         self.events = events if events is not None else EventLog()
         self.poll = poll
         self.timeout = timeout
+        self.log = get_logger("repro.client")
         self._results: Dict[str, Any] = {}
 
     # -- Runner protocol -------------------------------------------------------
@@ -214,34 +255,51 @@ class ServiceRunner:
         t0 = time.monotonic()
         summary = self.client.submit(graph.jobs)
         sweep_id = summary["sweep_id"]
-        self.events.emit(
-            "run_start",
-            total_jobs=summary["total"],
-            jobs=0,
-            sweep=sweep_id,
-            deduped=summary["deduped"],
-        )
-        status = self._await(sweep_id)
-        self._mirror_events(sweep_id)
-        try:
-            if not status.get("ok"):
-                failures = status.get("failed", [])
-                names = ", ".join(f["job"] for f in failures) or "unknown jobs"
-                raise ServiceError(
-                    f"sweep {sweep_id} finished with "
-                    f"{len(failures)} failed job(s): {names}"
-                )
-            out: Dict[str, Any] = {}
-            for job in graph.jobs:
-                out[job.key()] = self._fetch(job)
-            return {job.key(): out[job.key()] for job in graph.jobs}
-        finally:
-            self.events.emit(
-                "run_finish",
-                wall_time=round(time.monotonic() - t0, 6),
-                sweep=sweep_id,
-                **self.events.summary(),
+        with log_context(sweep_id=sweep_id):
+            self.log.info(
+                "sweep submitted",
+                total=summary["total"],
+                new=summary["new"],
+                deduped=summary["deduped"],
             )
+            self.events.emit(
+                "run_start",
+                total_jobs=summary["total"],
+                jobs=0,
+                sweep=sweep_id,
+                deduped=summary["deduped"],
+            )
+            status = self._await(sweep_id)
+            self._mirror_events(sweep_id)
+            try:
+                if not status.get("ok"):
+                    failures = status.get("failed", [])
+                    names = (
+                        ", ".join(f["job"] for f in failures) or "unknown jobs"
+                    )
+                    self.log.error(
+                        "sweep failed", failures=len(failures), jobs=names
+                    )
+                    raise ServiceError(
+                        f"sweep {sweep_id} finished with "
+                        f"{len(failures)} failed job(s): {names}"
+                    )
+                out: Dict[str, Any] = {}
+                for job in graph.jobs:
+                    out[job.key()] = self._fetch(job)
+                self.log.info(
+                    "sweep finished",
+                    seconds=round(time.monotonic() - t0, 6),
+                    states=status.get("states"),
+                )
+                return {job.key(): out[job.key()] for job in graph.jobs}
+            finally:
+                self.events.emit(
+                    "run_finish",
+                    wall_time=round(time.monotonic() - t0, 6),
+                    sweep=sweep_id,
+                    **self.events.summary(),
+                )
 
     def run_job(self, job: Job) -> Any:
         key = job.key()

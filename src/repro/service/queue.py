@@ -47,6 +47,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS sweeps (
     sweep_id TEXT PRIMARY KEY,
@@ -65,7 +67,10 @@ CREATE TABLE IF NOT EXISTS jobs (
     cached INTEGER NOT NULL DEFAULT 0,
     wall_time REAL,
     error TEXT,
-    created REAL NOT NULL
+    created REAL NOT NULL,
+    pending_since REAL,
+    lease_started REAL,
+    settled REAL
 );
 CREATE TABLE IF NOT EXISTS sweep_jobs (
     sweep_id TEXT NOT NULL,
@@ -98,10 +103,12 @@ class SweepQueue:
         path: Union[str, Path],
         lease_timeout: float = 60.0,
         max_attempts: int = 3,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.path = Path(path).expanduser()
         self.lease_timeout = lease_timeout
         self.max_attempts = max(1, max_attempts)
+        self.metrics = metrics
         self._local = threading.local()
 
     # -- connection management ----------------------------------------------
@@ -116,8 +123,25 @@ class SweepQueue:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
+            self._migrate(conn)
             self._local.conn = conn
         return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Add columns newer code expects to a database an older broker made.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves a pre-telemetry ``jobs``
+        table untouched, so the timestamp columns the telemetry layer
+        reads (queue wait, lease duration, settle time) are added here;
+        old rows read NULL, which every consumer treats as "unknown".
+        """
+        existing = {
+            row[1] for row in conn.execute("PRAGMA table_info(jobs)")
+        }
+        for column in ("pending_since", "lease_started", "settled"):
+            if column not in existing:
+                conn.execute(f"ALTER TABLE jobs ADD COLUMN {column} REAL")
 
     @contextmanager
     def _txn(self) -> Iterator[sqlite3.Connection]:
@@ -203,9 +227,12 @@ class SweepQueue:
                 if row is None:
                     conn.execute(
                         "INSERT OR IGNORE INTO jobs "
-                        "(key, job_id, stage, blob, state, created) "
-                        "VALUES (?, ?, ?, ?, 'pending', ?)",
-                        (key, entry["job_id"], entry["stage"], entry["blob"], now),
+                        "(key, job_id, stage, blob, state, created, "
+                        "pending_since) VALUES (?, ?, ?, ?, 'pending', ?, ?)",
+                        (
+                            key, entry["job_id"], entry["stage"],
+                            entry["blob"], now, now,
+                        ),
                     )
                     conn.executemany(
                         "INSERT OR IGNORE INTO deps (key, dep) VALUES (?, ?)",
@@ -224,8 +251,9 @@ class SweepQueue:
                         # evicted results must be recomputed.
                         conn.execute(
                             "UPDATE jobs SET state = 'pending', attempts = 0, "
-                            "worker = NULL, error = NULL WHERE key = ?",
-                            (key,),
+                            "worker = NULL, error = NULL, pending_since = ?, "
+                            "settled = NULL WHERE key = ?",
+                            (now, key),
                         )
                     elif state == "done":
                         done += 1
@@ -262,6 +290,11 @@ class SweepQueue:
                         key=entry["key"], cached=True, wall_time=0.0,
                         attempt=0,
                     )
+        self.metrics.inc("service.sweeps_submitted")
+        self.metrics.inc("service.jobs_submitted", len(packed_jobs))
+        self.metrics.inc("service.jobs_new", new)
+        self.metrics.inc("service.dedup_hits", deduped)
+        self.metrics.inc("service.jobs_done_at_submit", done)
         return {
             "sweep_id": sweep_id,
             "total": len(packed_jobs),
@@ -297,9 +330,10 @@ class SweepQueue:
                 error = f"dependency failed: {dep_job_id} ({dep_key[:12]})"
                 conn.execute(
                     "UPDATE jobs SET state = 'failed', worker = NULL, "
-                    "error = ? WHERE key = ?",
-                    (error, child_key),
+                    "error = ?, settled = ? WHERE key = ?",
+                    (error, time.time(), child_key),
                 )
+                self.metrics.inc("service.dep_failures")
                 self._emit(
                     conn, self._sweeps_of(conn, child_key), "job_failed",
                     job=child_job_id, stage=stage, key=child_key,
@@ -335,10 +369,11 @@ class SweepQueue:
         dep_job_id, dep_key = dep
         error = f"dependency failed: {dep_job_id} ({dep_key[:12]})"
         conn.execute(
-            "UPDATE jobs SET state = 'failed', worker = NULL, error = ? "
-            "WHERE key = ?",
-            (error, key),
+            "UPDATE jobs SET state = 'failed', worker = NULL, error = ?, "
+            "settled = ? WHERE key = ?",
+            (error, time.time(), key),
         )
+        self.metrics.inc("service.dep_failures")
         self._emit(
             conn, self._sweeps_of(conn, key), "job_failed",
             job=job_id, stage=stage, key=key, attempts=0, error=error,
@@ -368,9 +403,10 @@ class SweepQueue:
                     )
                     conn.execute(
                         "UPDATE jobs SET state = 'failed', worker = NULL, "
-                        "error = ? WHERE key = ?",
-                        (error, key),
+                        "error = ?, settled = ? WHERE key = ?",
+                        (error, now, key),
                     )
+                    self.metrics.inc("service.lease_expiry_failures")
                     self._emit(
                         conn, self._sweeps_of(conn, key), "job_failed",
                         job=job_id, stage=stage, key=key, attempts=attempts,
@@ -383,10 +419,11 @@ class SweepQueue:
                         self._fail_blocked(conn, key, job_id, stage, dep)
                         continue
                     conn.execute(
-                        "UPDATE jobs SET state = 'pending', worker = NULL "
-                        "WHERE key = ?",
-                        (key,),
+                        "UPDATE jobs SET state = 'pending', worker = NULL, "
+                        "pending_since = ? WHERE key = ?",
+                        (now, key),
                     )
+                    self.metrics.inc("service.requeues")
                     self._emit(
                         conn, self._sweeps_of(conn, key), "job_requeued",
                         job=job_id, stage=stage, key=key, worker=worker,
@@ -406,7 +443,8 @@ class SweepQueue:
         now = time.time()
         with self._txn() as conn:
             row = conn.execute(
-                "SELECT key, job_id, stage, blob, attempts FROM jobs j "
+                "SELECT key, job_id, stage, blob, attempts, pending_since, "
+                "created FROM jobs j "
                 "WHERE j.state = 'pending' AND NOT EXISTS ("
                 "    SELECT 1 FROM deps d JOIN jobs dj ON dj.key = d.dep "
                 "    WHERE d.key = j.key AND dj.state != 'done'"
@@ -414,11 +452,18 @@ class SweepQueue:
             ).fetchone()
             if row is None:
                 return None
-            key, job_id, stage, blob, attempts = row
+            key, job_id, stage, blob, attempts, pending_since, created = row
             conn.execute(
                 "UPDATE jobs SET state = 'leased', worker = ?, "
-                "lease_expires = ?, attempts = ? WHERE key = ?",
-                (worker, now + self.lease_timeout, attempts + 1, key),
+                "lease_expires = ?, attempts = ?, lease_started = ? "
+                "WHERE key = ?",
+                (worker, now + self.lease_timeout, attempts + 1, now, key),
+            )
+            self.metrics.inc("service.leases")
+            self.metrics.observe(
+                "service.queue_wait_seconds",
+                max(0.0, now - (pending_since or created)),
+                label=stage,
             )
             self._emit(
                 conn, self._sweeps_of(conn, key), "job_start",
@@ -436,6 +481,7 @@ class SweepQueue:
 
     def heartbeat(self, worker: str, keys: Sequence[str]) -> int:
         """Extend the leases ``worker`` still holds; return how many."""
+        self.metrics.inc("service.heartbeats")
         if not keys:
             return 0
         now = time.time()
@@ -463,24 +509,37 @@ class SweepQueue:
         expired and was handed to someone else gets ``state="stale"``
         and cannot flip a job another worker already settled.
         """
+        now = time.time()
         with self._txn() as conn:
             row = conn.execute(
-                "SELECT job_id, stage, attempts, state, worker "
+                "SELECT job_id, stage, attempts, state, worker, lease_started "
                 "FROM jobs WHERE key = ?",
                 (key,),
             ).fetchone()
             if row is None:
+                self.metrics.inc("service.completes", label="unknown")
                 return {"state": "unknown"}
-            job_id, stage, attempts, state, holder = row
+            job_id, stage, attempts, state, holder, lease_started = row
             if state != "leased" or holder != worker:
+                self.metrics.inc("service.completes", label="stale")
                 return {"state": "stale", "attempts": attempts}
             sweeps = self._sweeps_of(conn, key)
+            if lease_started is not None:
+                self.metrics.observe(
+                    "service.lease_to_complete_seconds",
+                    max(0.0, now - lease_started),
+                    label=stage,
+                )
             if ok:
                 conn.execute(
                     "UPDATE jobs SET state = 'done', worker = NULL, "
-                    "cached = ?, wall_time = ?, error = NULL WHERE key = ?",
-                    (1 if cached else 0, wall_time, key),
+                    "cached = ?, wall_time = ?, error = NULL, settled = ? "
+                    "WHERE key = ?",
+                    (1 if cached else 0, wall_time, now, key),
                 )
+                self.metrics.inc("service.completes", label="ok")
+                if cached:
+                    self.metrics.inc("service.worker_cache_hits")
                 if cached:
                     self._emit(
                         conn, sweeps, "cache_hit",
@@ -501,9 +560,10 @@ class SweepQueue:
             elif attempts >= self.max_attempts:
                 conn.execute(
                     "UPDATE jobs SET state = 'failed', worker = NULL, "
-                    "error = ? WHERE key = ?",
-                    (error, key),
+                    "error = ?, settled = ? WHERE key = ?",
+                    (error, now, key),
                 )
+                self.metrics.inc("service.completes", label="fail")
                 self._emit(
                     conn, sweeps, "job_failed",
                     job=job_id, stage=stage, key=key, attempts=attempts,
@@ -517,10 +577,11 @@ class SweepQueue:
                     self._fail_blocked(conn, key, job_id, stage, dep)
                     state = "failed"
                 else:
+                    self.metrics.inc("service.completes", label="retry")
                     conn.execute(
                         "UPDATE jobs SET state = 'pending', worker = NULL, "
-                        "error = ? WHERE key = ?",
-                        (error, key),
+                        "error = ?, pending_since = ? WHERE key = ?",
+                        (error, now, key),
                     )
                     self._emit(
                         conn, sweeps, "job_retry",
@@ -559,14 +620,31 @@ class SweepQueue:
         ]
         total = sum(counts.values())
         settled = sum(counts.get(state, 0) for state in TERMINAL_STATES)
+        done = settled == total
+        first_lease, last_settled = conn.execute(
+            "SELECT MIN(j.lease_started), MAX(j.settled) FROM sweep_jobs s "
+            "JOIN jobs j ON j.key = s.key WHERE s.sweep_id = ?",
+            (sweep_id,),
+        ).fetchone()
         return {
             "sweep_id": sweep_id,
             "created": sweep[0],
             "total": total,
             "states": counts,
             "failed": failed,
-            "done": settled == total,
+            "done": done,
             "ok": counts.get("done", 0) == total,
+            # Wall-clock progress markers for dashboards (repro-top):
+            # submission time, the first time any job of the sweep was
+            # handed to a worker, and the settle time of the last job to
+            # finish.  A fully-deduplicated warm sweep may carry
+            # first_lease/settled timestamps *earlier* than submitted —
+            # its jobs settled under a previous sweep.
+            "timestamps": {
+                "submitted": sweep[0],
+                "first_lease": first_lease,
+                "settled": last_settled if done else None,
+            },
         }
 
     def counts(self) -> Dict[str, Any]:

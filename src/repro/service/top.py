@@ -1,0 +1,310 @@
+"""``repro-top``: a live terminal dashboard for a sweep broker.
+
+Polls one broker's observability endpoints — ``GET /healthz``,
+``GET /metrics``, ``GET /workers`` and (with ``--sweep``) the sweep's
+status and event stream — and renders a fleet view in place::
+
+    repro-top --broker http://127.0.0.1:8731
+    repro-top --broker http://127.0.0.1:8731 --sweep 4c7a1b...
+    repro-top --broker URL --sweep ID --once --json   # one machine-readable frame
+    repro-top --broker URL --sweep ID --events-out sweep.jsonl
+    repro-trace --sweep-events sweep.jsonl            # then: Perfetto timeline
+
+``--once --json`` prints a single JSON document and exits — the shape CI
+smoke tests and scripts consume.  ``--events-out`` dumps the sweep's raw
+broker event records (wall-clock timestamps, worker identities) as
+JSONL, the input ``repro-trace --sweep-events`` renders as a distributed
+timeline.
+
+The dashboard needs nothing beyond ANSI escapes: a cursor-home +
+clear-to-end redraw per frame, no curses.  Rates are derived
+client-side from successive scrapes of the broker's counters
+(``leases/s``, ``completes/s``); latency quantiles come straight from
+the summary series in the exposition.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.prometheus import parse_exposition
+from repro.service.client import ServiceClient, ServiceError
+
+#: Counter families summed (over label sets) into the JSON snapshot and
+#: the dashboard's rate lines.  Exposition names, post-sanitisation.
+KEY_SERIES = (
+    "repro_service_leases_total",
+    "repro_service_completes_total",
+    "repro_service_heartbeats_total",
+    "repro_service_heartbeat_errors_total",
+    "repro_service_requeues_total",
+    "repro_service_dedup_hits_total",
+    "repro_service_jobs_submitted_total",
+    "repro_service_worker_cache_hits_total",
+    "repro_worker_jobs_done_total",
+    "repro_worker_jobs_failed_total",
+    "repro_service_cache_hits_total",
+    "repro_service_cache_misses_total",
+    "repro_worker_cache_hits_total",
+    "repro_worker_cache_misses_total",
+)
+
+
+def series_total(samples: Dict[str, float], family: str) -> float:
+    """Sum a family's value across every label set in a parsed scrape."""
+    total = 0.0
+    for key, value in samples.items():
+        if key.split("{", 1)[0] == family:
+            total += value
+    return total
+
+
+def quantile(
+    samples: Dict[str, float], family: str, q: str
+) -> Optional[float]:
+    """Best-effort quantile for a summary family (any label set)."""
+    needle = f'quantile="{q}"'
+    for key, value in samples.items():
+        if key.split("{", 1)[0] == family and needle in key:
+            return value
+    return None
+
+
+def sweep_view(
+    client: ServiceClient,
+    sweep_id: str,
+    events_out: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Status + event-derived cache accounting for one sweep."""
+    status = client.status(sweep_id)
+    records = client.events(sweep_id)
+    if events_out:
+        with open(events_out, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, default=str) + "\n")
+    hits = sum(1 for r in records if r.get("event") == "cache_hit")
+    finishes = sum(1 for r in records if r.get("event") == "job_finish")
+    states = status.get("states", {})
+    total = int(status.get("total", 0))
+    done = int(states.get("done", 0))
+    return {
+        "id": sweep_id,
+        "total": total,
+        "states": states,
+        "done": bool(status.get("done")),
+        "ok": bool(status.get("ok")),
+        "failed": status.get("failed", []),
+        "timestamps": status.get("timestamps", {}),
+        "progress": round(done / total, 4) if total else None,
+        "cache_hits": hits,
+        "finishes": finishes,
+        "cache_hit_ratio": round(hits / finishes, 4) if finishes else None,
+        "events": len(records),
+    }
+
+
+def collect(
+    client: ServiceClient,
+    sweep_id: Optional[str] = None,
+    events_out: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One full dashboard frame as a JSON-ready dict."""
+    samples = parse_exposition(client.metrics_text())
+    frame: Dict[str, Any] = {
+        "broker": client.url,
+        "polled_at": round(time.time(), 3),
+        "health": client.health(),
+        "workers": client.workers(),
+        "series": {
+            family: series_total(samples, family) for family in KEY_SERIES
+        },
+        "latency": {
+            "queue_wait_p50": quantile(
+                samples, "repro_service_queue_wait_seconds", "0.5"
+            ),
+            "queue_wait_p95": quantile(
+                samples, "repro_service_queue_wait_seconds", "0.95"
+            ),
+            "lease_to_complete_p50": quantile(
+                samples, "repro_service_lease_to_complete_seconds", "0.5"
+            ),
+            "lease_to_complete_p95": quantile(
+                samples, "repro_service_lease_to_complete_seconds", "0.95"
+            ),
+        },
+    }
+    if sweep_id:
+        frame["sweep"] = sweep_view(client, sweep_id, events_out=events_out)
+    return frame
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value < 120:
+        return f"{value:.2f}s"
+    return f"{value / 60:.1f}m"
+
+
+def render(frame: Dict[str, Any], rates: Dict[str, float]) -> str:
+    """One dashboard frame as plain text (ANSI-free; caller clears)."""
+    lines: List[str] = []
+    health = frame.get("health", {})
+    jobs = health.get("jobs", {})
+    lines.append(
+        f"repro-top — {frame['broker']}   "
+        f"uptime {_fmt_seconds(health.get('uptime_seconds'))}   "
+        f"workers {health.get('workers', 0)}   "
+        f"sweeps {health.get('sweeps', 0)}   "
+        f"ready {health.get('pending_ready', 0)}"
+    )
+    state_bits = "  ".join(
+        f"{state} {jobs.get(state, 0)}"
+        for state in ("pending", "leased", "done", "failed")
+    )
+    lines.append(f"queue: {state_bits}")
+    sweep = frame.get("sweep")
+    if sweep:
+        total = sweep["total"] or 1
+        done = sweep["states"].get("done", 0)
+        lines.append(
+            f"sweep {sweep['id'][:12]}: {_bar(done / total)} {done}/{sweep['total']}"
+            + ("  OK" if sweep["ok"] else ("  DONE" if sweep["done"] else ""))
+        )
+        ratio = sweep.get("cache_hit_ratio")
+        lines.append(
+            f"  cache hits {sweep['cache_hits']}/{sweep['finishes']}"
+            + (f" ({ratio:.0%})" if ratio is not None else "")
+            + f"   failed {len(sweep.get('failed', []))}"
+        )
+    latency = frame.get("latency", {})
+    lines.append(
+        "rates: "
+        f"{rates.get('leases', 0.0):.1f} leases/s  "
+        f"{rates.get('completes', 0.0):.1f} completes/s   "
+        f"queue-wait p50 {_fmt_seconds(latency.get('queue_wait_p50'))} "
+        f"p95 {_fmt_seconds(latency.get('queue_wait_p95'))}   "
+        f"exec p50 {_fmt_seconds(latency.get('lease_to_complete_p50'))} "
+        f"p95 {_fmt_seconds(latency.get('lease_to_complete_p95'))}"
+    )
+    workers = frame.get("workers", [])
+    if workers:
+        lines.append("")
+        lines.append(f"{'WORKER':24s} {'AGE':>6s} {'DONE':>6s} {'FAIL':>6s}  CURRENT")
+        for worker in workers:
+            current = worker.get("current") or ""
+            lines.append(
+                f"{str(worker.get('worker', '?'))[:24]:24s} "
+                f"{worker.get('last_heartbeat_age_seconds', 0):>5.1f}s "
+                f"{worker.get('executed', 0):>6d} "
+                f"{worker.get('failed', 0):>6d}  "
+                f"{str(current)[:16]}"
+            )
+    return "\n".join(lines)
+
+
+def _rates(
+    prev: Optional[Dict[str, Any]], frame: Dict[str, Any]
+) -> Dict[str, float]:
+    """Per-second deltas of the headline counters between two frames."""
+    if prev is None:
+        return {}
+    dt = frame["polled_at"] - prev["polled_at"]
+    if dt <= 0:
+        return {}
+    series, prev_series = frame["series"], prev["series"]
+
+    def rate(family: str) -> float:
+        return max(
+            0.0, (series.get(family, 0.0) - prev_series.get(family, 0.0)) / dt
+        )
+
+    return {
+        "leases": rate("repro_service_leases_total"),
+        "completes": rate("repro_service_completes_total"),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live fleet dashboard for a repro-serve sweep broker.",
+    )
+    parser.add_argument(
+        "--broker", required=True, metavar="URL", help="broker base URL"
+    )
+    parser.add_argument(
+        "--sweep",
+        metavar="ID",
+        default=None,
+        help="also track one sweep's progress and cache accounting",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls (default 1.0)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="poll once, print one frame, exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit frames as JSON instead of the dashboard",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "with --sweep: dump the sweep's raw broker event records as "
+            "JSONL (feed to repro-trace --sweep-events)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.broker)
+    prev: Optional[Dict[str, Any]] = None
+    try:
+        while True:
+            try:
+                frame = collect(
+                    client, sweep_id=args.sweep, events_out=args.events_out
+                )
+            except ServiceError as exc:
+                print(f"repro-top: {exc}", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(frame, default=str, sort_keys=True))
+            else:
+                text = render(frame, _rates(prev, frame))
+                if not args.once:
+                    # Cursor home + clear-to-end: redraw in place.
+                    sys.stdout.write("\x1b[H\x1b[J")
+                print(text)
+                sys.stdout.flush()
+            if args.once:
+                return 0
+            prev = frame
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

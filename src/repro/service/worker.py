@@ -27,17 +27,31 @@ Fault behaviour:
 - a **dropped result write** (``HTTPCache`` swallows network faults into
   no-op PUTs) is caught before reporting: the worker verifies the result
   is actually in the shared store and reports a failure if not, so the
-  broker never records ``done`` for a result nobody can fetch.
+  broker never records ``done`` for a result nobody can fetch;
+- **persistent heartbeat failures** (broker unreachable for
+  ``max_heartbeat_failures`` consecutive beats) stop the worker with
+  :attr:`Worker.heartbeat_exhausted` set, and ``repro-worker`` exits
+  nonzero — a supervisor restart beats silently holding dead leases.
+
+Telemetry: every worker owns a
+:class:`~repro.obs.metrics.MetricsRegistry` whose series carry a
+``worker=<id>`` label, and pushes its snapshot (plus cache byte/hit
+counters and liveness fields) to the broker inside each heartbeat — both
+the per-job lease extensions and a low-frequency *status* heartbeat that
+runs even while idle, so ``GET /workers`` and ``GET /metrics`` on the
+broker see the whole fleet.  Progress goes to stderr as structured JSON
+(:mod:`repro.obs.logging`) correlated by ``worker_id``/``job_key``.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import threading
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.obs.logging import bind_context, get_logger, log_context
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.runner.cache import CacheBackend
 from repro.runner.events import EventLog
 from repro.runner.executor import Runner
@@ -59,6 +73,12 @@ class Worker:
         max_jobs: stop after this many executed jobs (tests/CI).
         max_idle: stop after this long without work, ``None`` = forever.
         retry: reconnect policy for lease-loop broker errors.
+        max_heartbeat_failures: consecutive heartbeat errors before the
+            worker declares the broker unreachable and stops
+            (:attr:`heartbeat_exhausted` set; ``repro-worker`` exits 1).
+        status_interval: seconds between idle *status* heartbeats that
+            push telemetry even when no job is leased; ``0`` disables.
+        metrics: telemetry registry; defaults to a fresh enabled one.
     """
 
     def __init__(
@@ -71,6 +91,9 @@ class Worker:
         max_idle: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         heartbeat_fraction: float = 0.33,
+        max_heartbeat_failures: int = 10,
+        status_interval: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.client = client
         self.cache = cache
@@ -80,39 +103,129 @@ class Worker:
         self.max_idle = max_idle
         self.retry = retry or RECONNECT_POLICY
         self.heartbeat_fraction = heartbeat_fraction
+        self.max_heartbeat_failures = max_heartbeat_failures
+        self.status_interval = status_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = get_logger("repro.worker", worker_id=self.name)
         self.executed = 0
+        self.failed = 0
+        self.started = time.time()
         self.stop_event = threading.Event()
+        #: Set when consecutive heartbeat failures hit the budget; the
+        #: CLI turns this into a nonzero exit so supervisors restart us.
+        self.heartbeat_exhausted = False
+        self._current_key: Optional[str] = None
+        self._hb_failures = 0
+        self._hb_lock = threading.Lock()
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _label(self, extra: Optional[str] = None) -> str:
+        """Label string carrying this worker's identity (+ optional pairs)."""
+        base = f"worker={self.name}"
+        return f"{extra},{base}" if extra else base
+
+    def stats(self) -> Dict[str, Any]:
+        """The telemetry payload piggybacked on every heartbeat."""
+        snapshot = self.metrics.snapshot()
+        counters = dict(snapshot.counters)
+        for field, value in self.cache.telemetry().items():
+            counters[
+                f"worker.cache.{field}"
+                f"{{backend={self.cache.name},worker={self.name}}}"
+            ] = value
+        merged = MetricsSnapshot(counters, snapshot.gauges, snapshot.histograms)
+        return {
+            "executed": self.executed,
+            "failed": self.failed,
+            "current": self._current_key,
+            "started": self.started,
+            "metrics": merged.as_dict(),
+        }
+
+    def _heartbeat_once(self, keys: List[str]) -> None:
+        """One beat: push stats, track consecutive failures, maybe stop."""
+        try:
+            self.client.heartbeat(self.name, keys, stats=self.stats())
+        except ServiceError as exc:
+            self.metrics.inc("service.heartbeat_errors", label=self._label())
+            with self._hb_lock:
+                self._hb_failures += 1
+                failures = self._hb_failures
+            self.log.warning(
+                "heartbeat failed",
+                error=str(exc),
+                consecutive=failures,
+                budget=self.max_heartbeat_failures,
+            )
+            if failures >= self.max_heartbeat_failures:
+                self.log.error(
+                    "heartbeat budget exhausted; stopping",
+                    consecutive=failures,
+                )
+                self.heartbeat_exhausted = True
+                self.stop_event.set()
+        else:
+            with self._hb_lock:
+                self._hb_failures = 0
+
+    def _start_status_heartbeat(self) -> threading.Event:
+        """Low-frequency liveness/telemetry beat, running even while idle."""
+        stop = threading.Event()
+        if self.status_interval <= 0:
+            return stop
+
+        def beat() -> None:
+            while not stop.wait(self.status_interval):
+                if self.stop_event.is_set():
+                    return
+                held = [self._current_key] if self._current_key else []
+                self._heartbeat_once(held)
+
+        threading.Thread(
+            target=beat, name=f"status-{self.name}", daemon=True
+        ).start()
+        return stop
 
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> int:
         """Lease-execute-report until a stop condition; return jobs executed."""
+        bind_context(worker_id=self.name)
         idle_since = time.monotonic()
         reconnects = 0
-        while not self.stop_event.is_set():
-            if self.max_jobs is not None and self.executed >= self.max_jobs:
-                break
-            try:
-                leased = self.client.lease(self.name)
-                reconnects = 0
-            except ServiceError:
-                # Broker down or restarting: back off (jittered so a
-                # fleet does not stampede the moment it returns) and try
-                # again; ServiceClient already burned its own quick
-                # retries before raising.
-                reconnects += 1
-                self.retry.sleep(reconnects, token=self.name)
-                continue
-            if leased is None:
-                if (
-                    self.max_idle is not None
-                    and time.monotonic() - idle_since > self.max_idle
-                ):
+        status_stop = self._start_status_heartbeat()
+        try:
+            while not self.stop_event.is_set():
+                if self.max_jobs is not None and self.executed >= self.max_jobs:
                     break
-                self.stop_event.wait(self.poll)
-                continue
-            idle_since = time.monotonic()
-            self._execute(leased)
+                try:
+                    leased = self.client.lease(self.name)
+                    reconnects = 0
+                except ServiceError:
+                    # Broker down or restarting: back off (jittered so a
+                    # fleet does not stampede the moment it returns) and try
+                    # again; ServiceClient already burned its own quick
+                    # retries before raising.
+                    reconnects += 1
+                    self.metrics.inc(
+                        "worker.lease_errors", label=self._label()
+                    )
+                    self.retry.sleep(reconnects, token=self.name)
+                    continue
+                if leased is None:
+                    if (
+                        self.max_idle is not None
+                        and time.monotonic() - idle_since > self.max_idle
+                    ):
+                        break
+                    self.stop_event.wait(self.poll)
+                    continue
+                idle_since = time.monotonic()
+                self.metrics.inc("worker.leases", label=self._label())
+                self._execute(leased)
+        finally:
+            status_stop.set()
         return self.executed
 
     def stop(self) -> None:
@@ -122,11 +235,18 @@ class Worker:
 
     def _execute(self, leased: dict) -> None:
         key = str(leased.get("key", ""))
+        with log_context(job_key=key):
+            self._execute_inner(leased, key)
+
+    def _execute_inner(self, leased: dict, key: str) -> None:
         try:
             job = unpack_job(leased)
         except WireError as exc:
             self._report(key, ok=False, error=f"wire error: {exc}")
             return
+        stage = getattr(getattr(job, "spec", None), "stage", "unknown")
+        self._current_key = key
+        self.log.info("job leased", stage=stage, attempt=leased.get("attempts"))
         stop_heartbeat = self._start_heartbeat(
             key, float(leased.get("lease_timeout", 60.0))
         )
@@ -136,11 +256,22 @@ class Worker:
             runner = Runner(jobs=1, cache=self.cache, events=events)
             runner.run_job(job)
         except Exception as exc:  # noqa: BLE001 - report any job failure upstream
+            self.failed += 1
+            self.metrics.inc("worker.jobs_failed", label=self._label())
+            self.log.warning("job failed", stage=stage, error=repr(exc))
             self._report(key, ok=False, error=repr(exc))
             return
         finally:
             stop_heartbeat.set()
+            self._current_key = None
+        elapsed = time.monotonic() - t0
         self.executed += 1
+        self.metrics.inc("worker.jobs_done", label=self._label())
+        self.metrics.observe(
+            "worker.job_seconds",
+            elapsed,
+            label=self._label(f"stage={stage}"),
+        )
         # The runner's local event log says whether the leased job itself
         # was served from the shared cache (dependencies always are).
         cached = any(
@@ -152,6 +283,8 @@ class Worker:
             # mark the job 'done' with nothing behind it and strand the
             # client's result fetch — report a failure so the attempt
             # budget retries the job instead.
+            self.metrics.inc("worker.store_verify_failures", label=self._label())
+            self.log.warning("result missing from shared cache", stage=stage)
             self._report(
                 key,
                 ok=False,
@@ -159,12 +292,13 @@ class Worker:
                 "(store dropped?)",
             )
             return
-        self._report(
-            key,
-            ok=True,
+        self.log.info(
+            "job finished",
+            stage=stage,
             cached=cached,
-            wall_time=round(time.monotonic() - t0, 6),
+            seconds=round(elapsed, 6),
         )
+        self._report(key, ok=True, cached=cached, wall_time=round(elapsed, 6))
 
     def _report(
         self,
@@ -188,7 +322,11 @@ class Worker:
                 # the broker stays down, the lease expires and another
                 # worker re-leases the job straight into a cache hit.
                 attempt += 1
+                self.metrics.inc("worker.report_retries", label=self._label())
                 if attempt > 5:
+                    self.log.error(
+                        "giving up reporting completion", ok=ok, attempts=attempt
+                    )
                     return
                 self.retry.sleep(attempt, token=f"{self.name}:{key}")
 
@@ -199,10 +337,9 @@ class Worker:
 
         def beat() -> None:
             while not stop.wait(interval):
-                try:
-                    self.client.heartbeat(self.name, [key])
-                except ServiceError:
-                    pass  # broker will requeue on expiry if we are dead too
+                if self.stop_event.is_set():
+                    return
+                self._heartbeat_once([key])
 
         threading.Thread(
             target=beat, name=f"heartbeat-{key[:8]}", daemon=True
@@ -258,6 +395,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="shorthand for --max-jobs 1",
     )
+    parser.add_argument(
+        "--max-heartbeat-failures",
+        type=int,
+        default=10,
+        help=(
+            "exit nonzero after this many consecutive heartbeat failures "
+            "(default 10)"
+        ),
+    )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=2.0,
+        help="seconds between idle telemetry heartbeats (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     from repro.service.backends import HTTPCache, make_cache
@@ -274,18 +426,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         poll=args.poll,
         max_jobs=1 if args.once else args.max_jobs,
         max_idle=args.max_idle,
+        max_heartbeat_failures=args.max_heartbeat_failures,
+        status_interval=args.status_interval,
     )
-    print(
-        f"repro-worker {worker.name}: broker {args.broker}, "
-        f"cache {cache.describe()}",
-        file=sys.stderr,
+    worker.log.info(
+        "worker starting", broker=args.broker, cache=cache.describe()
     )
     try:
         executed = worker.run()
     except KeyboardInterrupt:
         executed = worker.executed
-    print(f"repro-worker {worker.name}: executed {executed} job(s)", file=sys.stderr)
-    return 0
+    worker.log.info(
+        "worker exiting",
+        executed=executed,
+        failed=worker.failed,
+        heartbeat_exhausted=worker.heartbeat_exhausted,
+    )
+    return 1 if worker.heartbeat_exhausted else 0
 
 
 if __name__ == "__main__":

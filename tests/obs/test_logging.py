@@ -1,0 +1,151 @@
+"""Structured logging: record shape, context propagation, level gating."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs.logging import (
+    JsonLogger,
+    bind_context,
+    context_fields,
+    get_logger,
+    log_context,
+)
+
+
+def _logger(stream: io.StringIO, level: int = 0, **bound) -> JsonLogger:
+    return JsonLogger("test", stream=stream, level=level, **bound)
+
+
+def _records(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRecordShape:
+    def test_one_line_json_with_standard_fields(self):
+        stream = io.StringIO()
+        _logger(stream).info("hello", n=3)
+        (record,) = _records(stream)
+        assert record["level"] == "info"
+        assert record["logger"] == "test"
+        assert record["msg"] == "hello"
+        assert record["n"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_bound_fields_and_child(self):
+        stream = io.StringIO()
+        logger = _logger(stream, worker_id="w1")
+        child = logger.child(job_key="abc")
+        child.info("leased")
+        (record,) = _records(stream)
+        assert record["worker_id"] == "w1"
+        assert record["job_key"] == "abc"
+
+    def test_non_serialisable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        _logger(stream).info("x", obj=object())
+        (record,) = _records(stream)
+        assert "object object" in record["obj"]
+
+    def test_level_gating(self):
+        stream = io.StringIO()
+        logger = JsonLogger("test", stream=stream, level=30)  # warning
+        logger.info("dropped")
+        logger.debug("dropped")
+        logger.warning("kept")
+        logger.error("kept too")
+        assert [r["msg"] for r in _records(stream)] == ["kept", "kept too"]
+
+
+class TestContextPropagation:
+    def test_log_context_scopes_fields(self):
+        stream = io.StringIO()
+        logger = _logger(stream)
+        with log_context(sweep_id="s1"):
+            with log_context(job_key="k1"):
+                logger.info("inner")
+            logger.info("outer")
+        logger.info("outside")
+        inner, outer, outside = _records(stream)
+        assert inner["sweep_id"] == "s1" and inner["job_key"] == "k1"
+        assert outer["sweep_id"] == "s1" and "job_key" not in outer
+        assert "sweep_id" not in outside
+
+    def test_innermost_context_wins(self):
+        with log_context(sweep_id="a"):
+            with log_context(sweep_id="b"):
+                assert context_fields()["sweep_id"] == "b"
+            assert context_fields()["sweep_id"] == "a"
+
+    def test_threads_need_an_explicit_context_copy(self):
+        # Plain threads start with a fresh context (unlike asyncio
+        # tasks); carrying correlation fields across needs
+        # copy_context() — or the receiver binding its own identity,
+        # which is what the worker's threads do.
+        import contextvars
+
+        plain, copied = {}, {}
+
+        with log_context(worker_id="w9"):
+            ctx = contextvars.copy_context()
+            thread = threading.Thread(
+                target=lambda: plain.update(context_fields())
+            )
+            thread.start()
+            thread.join()
+            thread = threading.Thread(
+                target=lambda: copied.update(ctx.run(context_fields))
+            )
+            thread.start()
+            thread.join()
+        assert plain == {}
+        assert copied == {"worker_id": "w9"}
+
+    def test_bind_context_persists_without_scope(self):
+        def target():
+            bind_context(worker_id="w5")
+            assert context_fields()["worker_id"] == "w5"
+
+        # Run in a throwaway thread so the unscoped bind cannot leak
+        # into other tests' contexts.
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert "worker_id" not in context_fields()
+
+    def test_explicit_fields_override_context(self):
+        stream = io.StringIO()
+        logger = _logger(stream)
+        with log_context(stage="ctx"):
+            logger.info("x", stage="explicit")
+        (record,) = _records(stream)
+        assert record["stage"] == "explicit"
+
+
+class TestEnvConfiguration:
+    def test_default_level_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        stream = io.StringIO()
+        logger = get_logger("env-test")
+        logger.stream = stream
+        logger.info("dropped")
+        logger.error("kept")
+        assert [r["msg"] for r in _records(stream)] == ["kept"]
+
+    def test_text_format_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "text")
+        stream = io.StringIO()
+        _logger(stream).warning("disk full", path="/tmp")
+        line = stream.getvalue()
+        assert "WARNING" in line and "disk full" in line and "path=/tmp" in line
+        assert not line.lstrip().startswith("{")
+
+    def test_stderr_resolved_at_write_time(self, monkeypatch, capsys):
+        logger = get_logger("stderr-test")
+        logger.level = 0
+        logger.info("to stderr")
+        captured = capsys.readouterr()
+        record = json.loads(captured.err.strip().splitlines()[-1])
+        assert record["msg"] == "to stderr"

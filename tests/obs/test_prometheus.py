@@ -1,0 +1,195 @@
+"""Prometheus text exposition: golden output, escaping, round-trip.
+
+The encoder's contract is *determinism* — families sorted by exported
+name, samples by rendered labels, label pairs by key — so the golden
+test pins the exact byte-for-byte exposition of a representative
+snapshot, and property-style checks cover the escaping and parsing
+corners a scraper would trip over.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import HistogramSummary, MetricsRegistry, MetricsSnapshot
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    encode_exposition,
+    escape_label_value,
+    format_value,
+    histogram_from_samples,
+    label_pairs,
+    parse_exposition,
+    sanitize_name,
+    split_key,
+)
+
+
+class TestNameAndLabelMapping:
+    def test_sanitize_name_prefixes_and_flattens(self):
+        assert sanitize_name("service.leases") == "repro_service_leases"
+        assert sanitize_name("a-b c.d") == "repro_a_b_c_d"
+        assert sanitize_name("x", namespace="") == "x"
+        assert sanitize_name("9lives", namespace="").startswith("_")
+
+    def test_split_key(self):
+        assert split_key("service.jobs{state=done}") == (
+            "service.jobs",
+            "state=done",
+        )
+        assert split_key("plain") == ("plain", None)
+        # A '{' without a trailing '}' is part of the name, not a label.
+        assert split_key("odd{brace") == ("odd{brace", None)
+
+    def test_label_pairs_kv_and_bare(self):
+        assert label_pairs("worker=w1,stage=sim") == [
+            ("stage", "sim"),
+            ("worker", "w1"),
+        ]
+        # The simulator's historical bare-label style.
+        assert label_pairs("stride+fcm") == [("label", "stride+fcm")]
+        assert label_pairs(None) == []
+        assert label_pairs("") == []
+
+    def test_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+
+class TestGoldenExposition:
+    def test_representative_snapshot_is_byte_stable(self):
+        registry = MetricsRegistry()
+        registry.inc("service.leases", 6)
+        registry.inc("service.completes", 5, label="ok")
+        registry.inc("service.completes", 1, label="retry")
+        registry.inc("service.jobs_done", 3, label="worker=w1")
+        registry.inc("service.jobs_done", 2, label='worker=w"2\\')
+        registry.set_gauge("service.uptime_seconds", 12.5)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.observe("service.queue_wait_seconds", value, label="sim")
+        expected = "\n".join(
+            [
+                "# TYPE repro_service_completes_total counter",
+                'repro_service_completes_total{label="ok"} 5',
+                'repro_service_completes_total{label="retry"} 1',
+                "# TYPE repro_service_jobs_done_total counter",
+                'repro_service_jobs_done_total{worker="w1"} 3',
+                'repro_service_jobs_done_total{worker="w\\"2\\\\"} 2',
+                "# TYPE repro_service_leases_total counter",
+                "repro_service_leases_total 6",
+                "# TYPE repro_service_queue_wait_seconds summary",
+                'repro_service_queue_wait_seconds{label="sim",quantile="0.5"} 0.25',
+                'repro_service_queue_wait_seconds{label="sim",quantile="0.95"} '
+                "0.38499999999999995",
+                'repro_service_queue_wait_seconds{label="sim",quantile="0.99"} '
+                "0.39699999999999996",
+                'repro_service_queue_wait_seconds_sum{label="sim"} 1',
+                'repro_service_queue_wait_seconds_count{label="sim"} 4',
+                'repro_service_queue_wait_seconds_min{label="sim"} 0.1',
+                'repro_service_queue_wait_seconds_max{label="sim"} 0.4',
+                "# TYPE repro_service_uptime_seconds gauge",
+                "repro_service_uptime_seconds 12.5",
+                "",
+            ]
+        )
+        assert encode_exposition(registry.snapshot()) == expected
+
+    def test_empty_snapshot(self):
+        assert encode_exposition(MetricsSnapshot.empty()) == ""
+
+    def test_content_type_pins_exposition_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_encoding_is_deterministic_across_insertion_orders(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x.one"), a.inc("x.two", label="k=v")
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 1.0)
+        b.inc("x.two", label="k=v"), b.inc("x.one")
+        assert encode_exposition(a.snapshot()) == encode_exposition(b.snapshot())
+
+
+class TestRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("service.leases", 42)
+        registry.inc("service.jobs", 7, label="state=done")
+        registry.set_gauge("service.workers", 3)
+        samples = parse_exposition(encode_exposition(registry.snapshot()))
+        assert samples["repro_service_leases_total"] == 42
+        assert samples['repro_service_jobs_total{state="done"}'] == 7
+        assert samples["repro_service_workers"] == 3
+
+    def test_histogram_summary_round_trip(self):
+        registry = MetricsRegistry()
+        values = [0.01 * n for n in range(1, 101)]
+        for value in values:
+            registry.observe("svc.latency", value)
+        original = registry.snapshot().histograms["svc.latency"]
+        samples = parse_exposition(encode_exposition(registry.snapshot()))
+        name = "repro_svc_latency"
+        # Quantile samples match the reservoir percentiles exactly.
+        assert samples[f'{name}{{quantile="0.5"}}'] == original.p50
+        assert samples[f'{name}{{quantile="0.95"}}'] == original.p95
+        assert samples[f'{name}{{quantile="0.99"}}'] == original.p99
+        assert samples[f"{name}_min"] == original.min
+        assert samples[f"{name}_max"] == original.max
+        rebuilt = histogram_from_samples(samples, name)
+        assert rebuilt.count == original.count
+        assert rebuilt.total == original.total
+        assert abs(rebuilt.mean - original.mean) < 1e-12
+
+    def test_parser_skips_comments_and_junk(self):
+        text = (
+            "# HELP something\n"
+            "# TYPE x counter\n"
+            "x_total 3\n"
+            "not a sample line at all\n"
+            "y{a=\"b\"} 2.5\n"
+            "z NaN\n"
+        )
+        samples = parse_exposition(text)
+        assert samples["x_total"] == 3
+        assert samples['y{a="b"}'] == 2.5
+        assert math.isnan(samples["z"])
+        assert "not" not in samples
+
+    def test_special_values_survive(self):
+        snapshot = MetricsSnapshot(
+            counters={}, gauges={"g.inf": math.inf, "g.neg": -math.inf}, histograms={}
+        )
+        samples = parse_exposition(encode_exposition(snapshot))
+        assert samples["repro_g_inf"] == math.inf
+        assert samples["repro_g_neg"] == -math.inf
+
+
+class TestMergedFleetEncoding:
+    def test_worker_snapshots_merge_then_encode(self):
+        """Broker + two pushed worker snapshots → one deterministic scrape."""
+        broker = MetricsRegistry()
+        broker.inc("service.leases", 4)
+        w1, w2 = MetricsRegistry(), MetricsRegistry()
+        w1.inc("worker.jobs_done", 3, label="worker=w1")
+        w2.inc("worker.jobs_done", 1, label="worker=w2")
+        w1.observe("worker.job_seconds", 0.5, label="worker=w1")
+        w2.observe("worker.job_seconds", 1.5, label="worker=w2")
+        merged = (
+            broker.snapshot()
+            .merged(MetricsSnapshot.from_dict(w1.snapshot().as_dict()))
+            .merged(MetricsSnapshot.from_dict(w2.snapshot().as_dict()))
+        )
+        samples = parse_exposition(encode_exposition(merged))
+        assert samples["repro_service_leases_total"] == 4
+        assert samples['repro_worker_jobs_done_total{worker="w1"}'] == 3
+        assert samples['repro_worker_jobs_done_total{worker="w2"}'] == 1
+        assert samples['repro_worker_job_seconds_count{worker="w1"}'] == 1
+        assert samples['repro_worker_job_seconds_count{worker="w2"}'] == 1

@@ -1,0 +1,145 @@
+"""Distributed sweep timeline: broker event records → Perfetto tracks."""
+
+from __future__ import annotations
+
+from repro.obs.perfetto import (
+    WORKERS_PID,
+    chrome_trace,
+    sweep_span_events,
+    validate_chrome_trace,
+)
+
+T0 = 1_700_000_000.0
+
+
+def _rec(event: str, dt: float, **fields):
+    return {"ts": T0 + dt, "event": event, **fields}
+
+
+def _spans(events, ph="X"):
+    return [e for e in events if e.get("ph") == ph]
+
+
+def _thread_names(events):
+    return {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+
+
+class TestSweepTimeline:
+    def test_queue_wait_and_exec_spans_per_worker(self):
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=2),
+            _rec("job_start", 0.5, job="sim-a", stage="simulate", key="k" * 64,
+                 worker="w1", attempt=1),
+            _rec("job_start", 0.7, job="sim-b", stage="simulate", key="j" * 64,
+                 worker="w2", attempt=1),
+            _rec("job_finish", 1.5, job="sim-a", stage="simulate", key="k" * 64,
+                 worker="w1", cached=False, wall_time=1.0, attempt=1),
+            _rec("job_finish", 2.7, job="sim-b", stage="simulate", key="j" * 64,
+                 worker="w2", cached=False, wall_time=2.0, attempt=1),
+        ]
+        events = sweep_span_events(records)
+        names = _thread_names(events)
+        # One queue thread + one thread per worker.
+        assert names[(WORKERS_PID, 0)] == "queue"
+        assert set(names.values()) == {"queue", "worker w1", "worker w2"}
+
+        spans = _spans(events)
+        queue_spans = [s for s in spans if s["tid"] == 0]
+        exec_spans = [s for s in spans if s["tid"] != 0]
+        assert len(queue_spans) == 2 and len(exec_spans) == 2
+        # Queue-wait measures submit → lease in µs, normalised to t0.
+        wait_a = next(s for s in queue_spans if "sim-a" in s["name"])
+        assert wait_a["ts"] == 0.0
+        assert abs(wait_a["dur"] - 0.5e6) < 1.0
+        # Exec span covers job_start → job_finish on the worker's track.
+        exec_a = next(s for s in exec_spans if s["name"] == "sim-a")
+        assert abs(exec_a["ts"] - 0.5e6) < 1.0
+        assert abs(exec_a["dur"] - 1.0e6) < 1.0
+        assert exec_a["args"]["worker"] == "w1"
+        # Workers land on distinct tracks.
+        assert len({s["tid"] for s in exec_spans}) == 2
+
+    def test_submit_time_cache_hits_are_queue_instants(self):
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=1),
+            _rec("cache_hit", 0.0, job="sim-a", stage="simulate",
+                 key="k" * 64, source="queue"),
+            _rec("job_finish", 0.0, job="sim-a", stage="simulate",
+                 key="k" * 64, cached=True, wall_time=0.0, attempt=0),
+        ]
+        events = sweep_span_events(records)
+        instants = _spans(events, ph="i")
+        assert len(instants) == 1
+        assert "cached" in instants[0]["name"]
+        assert instants[0]["tid"] == 0
+        assert _spans(events) == []  # no exec span without a lease
+
+    def test_retry_resets_queue_wait(self):
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=1),
+            _rec("job_start", 0.1, job="boom", stage="svc", key="k" * 64,
+                 worker="w1", attempt=1),
+            _rec("job_retry", 1.1, job="boom", stage="svc", key="k" * 64,
+                 worker="w1", attempt=1, error="RuntimeError"),
+            _rec("job_start", 3.1, job="boom", stage="svc", key="k" * 64,
+                 worker="w2", attempt=2),
+            _rec("job_finish", 4.1, job="boom", stage="svc", key="k" * 64,
+                 worker="w2", cached=False, wall_time=1.0, attempt=2),
+        ]
+        events = sweep_span_events(records)
+        queue_spans = [s for s in _spans(events) if s["tid"] == 0]
+        assert len(queue_spans) == 2
+        # Second wait measures from the retry (t=1.1), not the submit.
+        second = max(queue_spans, key=lambda s: s["ts"])
+        assert abs(second["ts"] - 1.1e6) < 1.0
+        assert abs(second["dur"] - 2.0e6) < 1.0
+
+    def test_expired_lease_closes_span_and_requeues(self):
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=1),
+            _rec("job_start", 0.1, job="slow", stage="svc", key="k" * 64,
+                 worker="dead", attempt=1),
+            _rec("job_requeued", 5.1, job="slow", stage="svc", key="k" * 64,
+                 worker="dead", reason="lease expired"),
+            _rec("job_start", 5.2, job="slow", stage="svc", key="k" * 64,
+                 worker="alive", attempt=2),
+            _rec("job_finish", 6.2, job="slow", stage="svc", key="k" * 64,
+                 worker="alive", cached=False, wall_time=1.0, attempt=2),
+        ]
+        events = sweep_span_events(records)
+        expired = [s for s in _spans(events) if s.get("cat") == "expired"]
+        assert len(expired) == 1
+        assert abs(expired[0]["dur"] - 5.0e6) < 1.0
+        names = _thread_names(events)
+        assert "worker dead" in names.values()
+        assert "worker alive" in names.values()
+
+    def test_failed_job_is_failure_span(self):
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=1),
+            _rec("job_start", 0.1, job="boom", stage="svc", key="k" * 64,
+                 worker="w1", attempt=3),
+            _rec("job_failed", 0.6, job="boom", stage="svc", key="k" * 64,
+                 worker="w1", attempts=3, error="RuntimeError('x')"),
+        ]
+        events = sweep_span_events(records)
+        failures = [s for s in _spans(events) if s.get("cat") == "failure"]
+        assert len(failures) == 1
+        assert failures[0]["name"].startswith("FAILED")
+        assert failures[0]["args"]["error"] == "RuntimeError('x')"
+
+    def test_empty_log_and_validity(self):
+        assert sweep_span_events([]) == []
+        records = [
+            _rec("sweep_submitted", 0.0, sweep="s1", total=1),
+            _rec("job_start", 0.1, job="a", stage="svc", key="k" * 64,
+                 worker="w1", attempt=1),
+            _rec("job_finish", 0.2, job="a", stage="svc", key="k" * 64,
+                 worker="w1", cached=False, wall_time=0.1, attempt=1),
+        ]
+        payload = chrome_trace(sweep_span_events(records))
+        assert validate_chrome_trace(payload) == []

@@ -1,0 +1,353 @@
+"""Service telemetry: /metrics ground truth, fleet view, repro-top.
+
+The loopback fixture runs a real broker + two worker threads; the tests
+assert that what ``GET /metrics`` reports agrees with the queue's own
+bookkeeping (counters vs. SQLite state), that the fleet endpoints see
+every worker, that ``repro-top --once --json`` reports a finished warm
+sweep with a ≥0.9 cache-hit ratio, and that running with telemetry
+disabled leaves sweep outputs byte-identical.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import List
+
+import pytest
+
+from repro.obs.logging import JsonLogger, log_context
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse_exposition
+from repro.runner.jobs import Job, JobSpec, register_stage
+from repro.runner.retry import RetryPolicy
+from repro.service.backends import SQLiteCache
+from repro.service.broker import Broker
+from repro.service.client import ServiceClient, ServiceRunner
+from repro.service.queue import SweepQueue
+from repro.service.top import collect, main as top_main, render, series_total
+from repro.service.worker import Worker, main as worker_main
+
+FAST_RETRY = RetryPolicy(base=0.001, factor=1.0, jitter=0.0, max_delay=0.01)
+
+
+def _echo(spec: JobSpec, deps):
+    return {"benchmark": spec.benchmark, "token": spec.param("token")}
+
+
+register_stage("tel-echo", _echo)
+
+
+def _jobs(count: int) -> List[Job]:
+    return [
+        Job(JobSpec("tel-echo", "x", params=(("token", n),)))
+        for n in range(count)
+    ]
+
+
+class Loopback:
+    """Broker + N in-process workers, telemetry enabled end to end."""
+
+    def __init__(self, tmp_path, metrics: MetricsRegistry = None):
+        self.cache = SQLiteCache(tmp_path / "cache.db")
+        self.queue = SweepQueue(tmp_path / "queue.db")
+        self.broker = Broker(self.queue, self.cache, metrics=metrics).start()
+        self.url = self.broker.url
+        self.workers: List[Worker] = []
+        self.threads: List[threading.Thread] = []
+
+    def spawn_workers(self, count: int = 2, **kw) -> List[Worker]:
+        kw.setdefault("status_interval", 0.1)
+        spawned = []
+        for n in range(len(self.workers), len(self.workers) + count):
+            worker = Worker(
+                ServiceClient(self.url),
+                self.cache,
+                name=f"tel-w{n}",
+                poll=0.05,
+                **kw,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            self.workers.append(worker)
+            self.threads.append(thread)
+            spawned.append(worker)
+        return spawned
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+        self.broker.stop()
+        self.cache.close()
+
+
+@pytest.fixture()
+def loopback(tmp_path):
+    service = Loopback(tmp_path)
+    yield service
+    service.close()
+
+
+def _await_series(client, family, minimum, timeout=5.0):
+    """Poll /metrics until a counter family reaches ``minimum``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        samples = parse_exposition(client.metrics_text())
+        if series_total(samples, family) >= minimum:
+            return samples
+        time.sleep(0.05)
+    raise AssertionError(
+        f"{family} never reached {minimum}: "
+        f"{series_total(parse_exposition(client.metrics_text()), family)}"
+    )
+
+
+class TestMetricsGroundTruth:
+    def test_scrape_agrees_with_queue_after_two_worker_sweep(self, loopback):
+        loopback.spawn_workers(2)
+        jobs = _jobs(8)
+        ServiceRunner(loopback.url).run(jobs)
+
+        client = ServiceClient(loopback.url)
+        # Worker counters arrive via status heartbeats — wait for them.
+        samples = _await_series(client, "repro_worker_jobs_done_total", 8)
+
+        # Queue counters match the sweep: every job leased exactly once,
+        # completed ok exactly once.
+        assert samples["repro_service_leases_total"] == 8
+        assert samples['repro_service_completes_total{label="ok"}'] == 8
+        assert samples["repro_service_jobs_new_total"] == 8
+        # Current-state gauges mirror the queue's SQLite ground truth.
+        counts = loopback.queue.counts()
+        assert samples['repro_service_jobs{state="done"}'] == counts["jobs"]["done"]
+        assert samples["repro_service_sweeps"] == counts["sweeps"]
+        assert samples["repro_service_pending_ready"] == 0
+        # Latency summaries carry one observation per lease/complete.
+        assert (
+            series_total(samples, "repro_service_queue_wait_seconds_count") == 8
+        )
+        assert (
+            series_total(
+                samples, "repro_service_lease_to_complete_seconds_count"
+            )
+            == 8
+        )
+        # Both workers pushed per-worker series; their sum is the total.
+        per_worker = [
+            samples.get(f'repro_worker_jobs_done_total{{worker="tel-w{n}"}}', 0)
+            for n in (0, 1)
+        ]
+        assert sum(per_worker) == 8
+        # Fleet gauges: one liveness age per worker.
+        assert samples["repro_service_workers"] == 2
+        for n in (0, 1):
+            key = (
+                "repro_service_worker_last_heartbeat_age_seconds"
+                f'{{worker="tel-w{n}"}}'
+            )
+            assert samples[key] >= 0
+        # The broker's shared cache saw a write per job.
+        assert (
+            series_total(samples, "repro_service_cache_written_bytes_total") > 0
+            or series_total(samples, "repro_worker_cache_written_bytes_total")
+            > 0
+        )
+        # HTTP route instrumentation covered the sweep's requests.
+        assert samples['repro_service_http_requests_total{label="lease"}'] >= 8
+        assert samples['repro_service_http_requests_total{label="complete"}'] == 8
+
+    def test_metrics_content_type_and_uptime(self, loopback):
+        import urllib.request
+
+        with urllib.request.urlopen(f"{loopback.url}/metrics") as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            samples = parse_exposition(response.read().decode("utf-8"))
+        assert samples["repro_service_uptime_seconds"] >= 0
+
+
+class TestFleetEndpoints:
+    def test_workers_endpoint_sees_the_fleet(self, loopback):
+        loopback.spawn_workers(2)
+        client = ServiceClient(loopback.url)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            workers = client.workers()
+            if len(workers) == 2:
+                break
+            time.sleep(0.05)
+        assert sorted(w["worker"] for w in workers) == ["tel-w0", "tel-w1"]
+        for worker in workers:
+            assert worker["last_heartbeat_age_seconds"] < 5.0
+            assert worker["executed"] == 0
+            assert worker["current"] is None
+
+    def test_healthz_reports_uptime_states_and_fleet(self, loopback):
+        loopback.spawn_workers(1)
+        jobs = _jobs(3)
+        ServiceRunner(loopback.url).run(jobs)
+        health = ServiceClient(loopback.url).health()
+        assert health["ok"] is True
+        assert health["uptime_seconds"] >= 0
+        assert health["pending_ready"] == 0
+        assert health["jobs"] == {"done": 3}
+        assert health["workers"] >= 1
+
+    def test_sweep_status_timestamps(self, loopback):
+        loopback.spawn_workers(1)
+        jobs = _jobs(2)
+        client = ServiceClient(loopback.url)
+        submitted_at = time.time()
+        runner = ServiceRunner(loopback.url)
+        runner.run(jobs)
+        sweep_id = client.submit(jobs)["sweep_id"]
+        status = client.status(sweep_id)
+        stamps = status["timestamps"]
+        assert stamps["submitted"] >= submitted_at - 1.0
+        # Cold execution happened under the first sweep; this warm one
+        # shares the jobs, so first_lease/settled predate its submit.
+        assert stamps["first_lease"] is not None
+        assert stamps["settled"] is not None
+        assert stamps["first_lease"] <= stamps["settled"]
+
+
+class TestReproTop:
+    def test_once_json_on_warm_sweep(self, loopback, capsys, tmp_path):
+        loopback.spawn_workers(2)
+        jobs = _jobs(6)
+        ServiceRunner(loopback.url).run(jobs)  # cold
+        client = ServiceClient(loopback.url)
+        sweep_id = client.submit(jobs)["sweep_id"]  # warm: all deduped done
+        events_out = tmp_path / "sweep-events.jsonl"
+        _await_series(client, "repro_worker_jobs_done_total", 6)
+
+        rc = top_main(
+            [
+                "--broker", loopback.url,
+                "--sweep", sweep_id,
+                "--once", "--json",
+                "--events-out", str(events_out),
+            ]
+        )
+        assert rc == 0
+        frame = json.loads(capsys.readouterr().out)
+        sweep = frame["sweep"]
+        assert sweep["progress"] == 1.0
+        assert sweep["done"] and sweep["ok"]
+        assert sweep["cache_hit_ratio"] >= 0.9
+        assert len(frame["workers"]) >= 1
+        assert frame["series"]["repro_service_leases_total"] >= 6
+        assert frame["health"]["ok"] is True
+
+        # The events dump feeds the Perfetto distributed timeline.
+        from repro.obs.perfetto import chrome_trace, sweep_span_events, validate_chrome_trace
+        from repro.runner.events import read_events
+
+        records = read_events(str(events_out))
+        assert records, "events dump is empty"
+        payload = chrome_trace(sweep_span_events(records))
+        assert validate_chrome_trace(payload) == []
+
+    def test_dashboard_render_smoke(self, loopback):
+        loopback.spawn_workers(1)
+        jobs = _jobs(2)
+        ServiceRunner(loopback.url).run(jobs)
+        client = ServiceClient(loopback.url)
+        sweep_id = client.submit(jobs)["sweep_id"]
+        frame = collect(client, sweep_id=sweep_id)
+        text = render(frame, {})
+        assert "repro-top" in text
+        assert "sweep" in text
+        assert "queue:" in text
+
+
+class TestHeartbeatFailure:
+    def test_consecutive_failures_stop_the_worker(self, tmp_path):
+        dead = ServiceClient(
+            "http://127.0.0.1:9", max_retries=0, retry=FAST_RETRY
+        )
+        worker = Worker(
+            dead,
+            SQLiteCache(tmp_path / "cache.db"),
+            name="doomed",
+            poll=0.01,
+            retry=FAST_RETRY,
+            max_heartbeat_failures=3,
+            status_interval=0.01,
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "worker did not stop"
+        assert worker.heartbeat_exhausted
+        errors = worker.metrics.snapshot().counter_family(
+            "service.heartbeat_errors"
+        )
+        assert sum(errors.values()) >= 3
+
+    def test_worker_main_exits_nonzero_on_exhaustion(self, monkeypatch):
+        def fake_run(self):
+            self.heartbeat_exhausted = True
+            return self.executed
+
+        monkeypatch.setattr(Worker, "run", fake_run)
+        rc = worker_main(["--broker", "http://127.0.0.1:9"])
+        assert rc == 1
+
+
+class TestCorrelationPropagation:
+    def test_client_context_reaches_broker_logs(self, loopback):
+        stream = io.StringIO()
+        loopback.broker.log = JsonLogger(
+            "repro.broker", stream=stream, level=0
+        )
+        client = ServiceClient(loopback.url)
+        with log_context(sweep_id="corr-test-123"):
+            client.health()
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        request_logs = [
+            r
+            for r in records
+            if r["msg"] == "request" and r.get("route") == "healthz"
+        ]
+        assert request_logs, f"no request log captured: {records}"
+        assert request_logs[-1]["sweep_id"] == "corr-test-123"
+
+
+class TestDisabledTelemetryByteIdentity:
+    def test_outputs_identical_with_metrics_disabled(self, tmp_path):
+        jobs = _jobs(4)
+        payloads = {}
+        for mode in ("enabled", "disabled"):
+            disabled = mode == "disabled"
+            root = tmp_path / mode
+            root.mkdir()
+            service = Loopback(
+                root,
+                metrics=MetricsRegistry(enabled=False) if disabled else None,
+            )
+            try:
+                worker_kw = {}
+                if disabled:
+                    worker_kw = {
+                        "metrics": MetricsRegistry(enabled=False),
+                        "status_interval": 0.0,
+                    }
+                service.spawn_workers(2, **worker_kw)
+                ServiceRunner(service.url).run(jobs)
+                client = ServiceClient(service.url)
+                payloads[mode] = {
+                    job.key(): client.fetch_result_bytes(job.key())
+                    for job in jobs
+                }
+            finally:
+                service.close()
+        assert payloads["enabled"] == payloads["disabled"]
+        assert all(p is not None for p in payloads["enabled"].values())
