@@ -323,6 +323,58 @@ def _run_sweep_replay(ctx: BenchContext, state: Any) -> ScenarioRun:
     )
 
 
+#: Axes the explore-grid scenario sweeps (2x2 machine/speculation grid)
+#: over :data:`ABLATION_BENCHMARKS`.
+EXPLORE_GRID_AXES = ("issue_width=2,4", "threshold=0.5,0.8")
+
+
+def _run_explore_grid(ctx: BenchContext, state: Any) -> ScenarioRun:
+    """A small design-space sweep through the explore driver: point
+    derivation, per-point evaluation, cost model, frontier and the
+    deterministic report artifact."""
+    from repro.explore import (
+        Axis,
+        DesignSpace,
+        dump_report,
+        explore_points,
+        pareto_frontier,
+        report_payload,
+    )
+    from repro.machine.configs import PLAYDOH_4W_SPEC
+
+    space = DesignSpace(
+        base=PLAYDOH_4W_SPEC,
+        axes=tuple(Axis.parse(a) for a in EXPLORE_GRID_AXES),
+    )
+    points = space.grid()
+    results = explore_points(
+        points,
+        scale=ctx.workload_scale,
+        benchmarks=list(ABLATION_BENCHMARKS),
+    )
+    artifact = dump_report(
+        report_payload(
+            space, results, ctx.workload_scale, list(ABLATION_BENCHMARKS)
+        )
+    )
+    cycles = sum(
+        b.cycles_proposed for r in results for b in r.benchmarks
+    )
+    return ScenarioRun(
+        counters={
+            "design_points": float(len(results)),
+            "point_sims": float(
+                sum(len(r.benchmarks) for r in results)
+            ),
+            "sim_cycles": float(cycles),
+        },
+        extra={
+            "frontier_size": len(pareto_frontier(results)),
+            "artifact_bytes": len(artifact),
+        },
+    )
+
+
 register_scenario(
     BenchScenario(
         name="table2",
@@ -392,6 +444,16 @@ register_scenario(
 )
 register_scenario(
     BenchScenario(
+        name="explore_grid",
+        description=f"Design-space sweep {EXPLORE_GRID_AXES} over "
+        f"{ABLATION_BENCHMARKS}: explore driver end to end — points, "
+        "evaluations, cost model, Pareto frontier, report artifact",
+        subsystems=("explore", "core", "compiler"),
+        run=_run_explore_grid,
+    )
+)
+register_scenario(
+    BenchScenario(
         name="sweep_replay",
         description=f"Threshold sweep {SWEEP_REPLAY_THRESHOLDS} over "
         f"{ABLATION_BENCHMARKS} against a fresh trace store: capture "
@@ -405,6 +467,7 @@ register_scenario(
 __all__ = [
     "ABLATION_BENCHMARKS",
     "ABLATION_THRESHOLDS",
+    "EXPLORE_GRID_AXES",
     "HOTLOOP_BENCHMARKS",
     "SWEEP_REPLAY_THRESHOLDS",
     "BenchContext",

@@ -77,22 +77,34 @@ def simulate_block(
         outcomes: per-``LdPred`` op id, whether the prediction was correct.
         collect_trace: record typed trace events (used by the worked
             example, the timeline renderer and the Perfetto exporter).
-        ccb_capacity: bound the Compensation Code Buffer (None = unbounded).
+        ccb_capacity: bound the Compensation Code Buffer; ``None`` falls
+            back to the machine spec's ``ccb_capacity`` (itself ``None``
+            — unbounded — on the paper's machines).
         metrics: registry receiving the run's counters and histograms
             (``vliw.stall_cycles``, ``cce.flush``, ``cce.reexec``,
             ``ovb.state_transitions{...}``, ...); the default disabled
             registry costs one branch per site.
+
+    The OVB capacity and Synchronization-register width are read from the
+    machine description (``MachineSpec.ovb_capacity`` / ``sync_width``);
+    the width is grown if the schedule allocated more sync bits than the
+    hardware declares, which keeps pre-spec schedules simulating.
     """
     sink: Optional[TraceSink] = TraceSink() if collect_trace else None
+    machine = spec_schedule.schedule.machine
 
-    ovb = OperandValueBuffer(trace=sink, metrics=metrics)
+    ovb = OperandValueBuffer(
+        trace=sink, metrics=metrics, capacity=machine.ovb_capacity
+    )
     sync = SyncRegisterState(
-        width=max(64, spec_schedule.spec.sync_bits_used),
+        width=max(machine.sync_width, spec_schedule.spec.sync_bits_used),
         trace=sink,
         metrics=metrics,
     )
+    if ccb_capacity is None:
+        ccb_capacity = machine.ccb_capacity
     cc = CompensationEngine(
-        machine=spec_schedule.schedule.machine,
+        machine=machine,
         ovb=ovb,
         sync=sync,
         buffer=CompensationCodeBuffer(capacity=ccb_capacity),

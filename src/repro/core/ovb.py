@@ -73,21 +73,51 @@ class ValueRecord:
         return self.state in (OperandState.C, OperandState.R)
 
 
+class OVBFull(RuntimeError):
+    """Raised when an insert exceeds a bounded OVB's capacity.
+
+    A real machine would stall VLIW issue instead; the simulator treats
+    overflow as a configuration error so design-space sweeps bounding the
+    buffer (``MachineSpec.ovb_capacity``) surface undersized buffers
+    loudly rather than silently mis-timing blocks.
+    """
+
+
 class OperandValueBuffer:
-    """Keyed store of :class:`ValueRecord` (unbounded, as in the paper's
-    simulation; a capacity-limited variant would stall VLIW issue, which
-    the ablation benchmarks can emulate by bounding speculation)."""
+    """Keyed store of :class:`ValueRecord`.
+
+    Unbounded by default, as in the paper's simulation.  With
+    ``capacity`` set (from ``MachineSpec.ovb_capacity``) inserts beyond
+    the bound raise :class:`OVBFull`; ``high_water`` records the peak
+    occupancy either way, which the explore driver uses to size buffers.
+    """
 
     def __init__(
         self,
         trace: Optional[TraceSink] = None,
         metrics: MetricsRegistry = NULL_METRICS,
+        capacity: Optional[int] = None,
     ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("OVB capacity must be positive or None")
         self._records: Dict[int, ValueRecord] = {}
         self.inserts = 0
         self.updates = 0
+        self.capacity = capacity
+        self.high_water = 0
         self._trace = trace
         self._metrics = metrics
+
+    def _admit(self, producer_id: int) -> None:
+        if (
+            self.capacity is not None
+            and producer_id not in self._records
+            and len(self._records) >= self.capacity
+        ):
+            raise OVBFull(
+                f"OVB capacity {self.capacity} exceeded inserting op "
+                f"{producer_id}; bound speculation or enlarge ovb_capacity"
+            )
 
     def _transition(self, op_id: int, state: OperandState, time: int) -> None:
         self._metrics.inc("ovb.state_transitions", label=state.name)
@@ -99,6 +129,7 @@ class OperandValueBuffer:
     # -- insertion (VLIW engine side) ------------------------------------
 
     def record_predicted(self, ldpred_id: int, available_at: int) -> ValueRecord:
+        self._admit(ldpred_id)
         record = ValueRecord(
             producer_id=ldpred_id,
             kind=OperandKind.PREDICTED,
@@ -110,12 +141,14 @@ class OperandValueBuffer:
         self.inserts += 1
         self._metrics.inc("ovb.inserts")
         self._metrics.set_gauge("ovb.size", len(self._records))
+        self.high_water = max(self.high_water, len(self._records))
         self._transition(ldpred_id, OperandState.PN, available_at)
         return record
 
     def record_speculated(
         self, op_id: int, available_at: int, origins: FrozenSet[int]
     ) -> ValueRecord:
+        self._admit(op_id)
         record = ValueRecord(
             producer_id=op_id,
             kind=OperandKind.SPECULATED,
@@ -127,6 +160,7 @@ class OperandValueBuffer:
         self.inserts += 1
         self._metrics.inc("ovb.inserts")
         self._metrics.set_gauge("ovb.size", len(self._records))
+        self.high_water = max(self.high_water, len(self._records))
         self._transition(op_id, OperandState.RN, available_at)
         return record
 

@@ -369,15 +369,18 @@ def simulate_program(
 
     Args:
         compilation: output of :func:`repro.core.metrics.compile_program`.
-        predictor: live hardware value predictor (default: stride+FCM
-            hybrid, the paper's configuration).
+        predictor: live hardware value predictor; ``None`` builds the
+            machine spec's declared predictor (the paper's machines
+            declare the stride+FCM hybrid, so the default is unchanged).
         model_icache: charge instruction-cache miss penalties (used by
             the baseline-comparison experiment; off for Tables 2-4, which
             the paper computes from schedule lengths alone).
         table_capacity: model a finite, direct-mapped Value Prediction
-            Table of this many entries (None = unbounded, the paper's
-            profile-based setting); conflicting static loads then steal
-            each other's entries.
+            Table of this many entries; ``None`` falls back to the
+            machine spec's ``predictor.table_entries`` (itself ``None``
+            — unbounded, the paper's profile-based setting — on the
+            registry machines); conflicting static loads then steal each
+            other's entries.
         confidence: optional saturating-counter confidence estimator;
             when a block's predicted loads are not all confident, the
             instance runs the plain (non-speculative) version of the
@@ -400,7 +403,18 @@ def simulate_program(
         machine_name=compilation.machine.name,
     )
     registry = MetricsRegistry() if collect_metrics else NULL_METRICS
-    base_predictor = predictor if predictor is not None else default_hybrid()
+    machine_predictor = getattr(compilation.machine, "predictor", None)
+    if predictor is not None:
+        base_predictor = predictor
+    elif machine_predictor is not None:
+        # The machine spec declares the hardware predictor; the registry
+        # machines declare the paper's hybrid, so this default matches
+        # the historical ``default_hybrid()``.
+        base_predictor = machine_predictor.build()
+    else:
+        base_predictor = default_hybrid()
+    if table_capacity is None and machine_predictor is not None:
+        table_capacity = machine_predictor.table_entries
     table = (
         ValuePredictionTable(base_predictor, capacity=table_capacity)
         if table_capacity is not None

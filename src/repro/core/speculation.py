@@ -150,7 +150,12 @@ def transform_block(
     }
 
     # -- classify every original operation --------------------------------
-    allocator = SyncBitAllocator(width=config.sync_width)
+    # The pass cannot use more sync bits than the machine physically has,
+    # whatever the pass config asks for (registry machines declare 64,
+    # matching the config default, so paper schedules are unchanged).
+    allocator = SyncBitAllocator(
+        width=min(config.sync_width, machine.sync_width)
+    )
     info: Dict[int, SpecOpInfo] = {}
 
     for load in predicted_loads:

@@ -23,12 +23,22 @@ same content-hash-keyed jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.compiler import PassManager, PipelineConfig
 from repro.ir.program import Program
-from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W
+from repro.machine.configs import by_name, spec_by_name
 from repro.machine.description import MachineDescription
+from repro.machine.spec import MachineSpec
 from repro.profiling.profile_run import ProfileData, profile_program
 from repro.core.metrics import ProgramCompilation
 from repro.core.program_sim import ProgramSimResult, simulate_program
@@ -39,13 +49,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.runner import Job, Runner
 
 
+#: How an experiment names a machine: a registry name, a spec-file path,
+#: or an inline :class:`MachineSpec`.
+MachineRef = Union[str, MachineSpec]
+
+#: The default machine roles: the paper's primary 4-wide machine and its
+#: doubled Table 4 twin, as registry names.
+DEFAULT_MACHINES: Tuple[Tuple[str, MachineRef], ...] = (
+    ("base", "playdoh-4w"),
+    ("wide", "playdoh-8w"),
+)
+
+
 @dataclass(frozen=True)
 class EvaluationSettings:
-    """Knobs shared by all experiments."""
+    """Knobs shared by all experiments.
+
+    ``machines`` maps the *roles* experiments reference (``base``,
+    ``wide``) to machine specs — registry names, spec-file paths, or
+    inline :class:`MachineSpec` objects.  The defaults are the paper's
+    machines; :meth:`with_machine` rebinds a role, which is how the
+    explore driver sweeps machine axes without touching any experiment
+    code.
+    """
 
     scale: float = 1.0
     spec_config: SpeculationConfig = field(default_factory=SpeculationConfig)
     benchmarks: Tuple[str, ...] = tuple(BENCHMARKS)
+    machines: Tuple[Tuple[str, MachineRef], ...] = DEFAULT_MACHINES
 
     def with_threshold(self, threshold: float) -> "EvaluationSettings":
         return replace(
@@ -60,19 +91,46 @@ class EvaluationSettings:
             return self
         return replace(self, benchmarks=resolve_benchmarks(benchmarks))
 
+    def with_machine(
+        self, role: str, machine: Union[MachineRef, MachineDescription]
+    ) -> "EvaluationSettings":
+        """Bind ``role`` (e.g. ``"base"``) to a machine spec/name/path."""
+        if isinstance(machine, MachineDescription):
+            machine = MachineSpec.from_description(machine)
+        bound = dict(self.machines)
+        bound[role] = machine
+        return replace(self, machines=tuple(bound.items()))
 
-#: Pipeline products each experiment reads, as (stage, machine attr,
-#: model_icache) triples.  ``warm`` uses this to pre-build the job graph.
+    def machine_ref(self, role: str) -> MachineRef:
+        refs = dict(self.machines)
+        try:
+            return refs[role]
+        except KeyError:
+            raise KeyError(
+                f"no machine bound for role {role!r}; bound: {sorted(refs)}"
+            ) from None
+
+    def machine_spec(self, role: str) -> MachineSpec:
+        """The resolved :class:`MachineSpec` bound to ``role``."""
+        ref = self.machine_ref(role)
+        if isinstance(ref, MachineSpec):
+            return ref
+        return spec_by_name(ref)
+
+
+#: Pipeline products each experiment reads, as (stage, machine role,
+#: model_icache) triples.  ``warm`` uses this to pre-build the job graph;
+#: roles resolve through ``EvaluationSettings.machines``.
 EXPERIMENT_NEEDS: Dict[str, Tuple[Tuple[str, str, bool], ...]] = {
-    "table2": (("simulate", "machine_4w", False),),
-    "table3": (("compile", "machine_4w", False),),
+    "table2": (("simulate", "base", False),),
+    "table3": (("compile", "base", False),),
     "table4": (
-        ("simulate", "machine_4w", False),
-        ("simulate", "machine_8w", False),
+        ("simulate", "base", False),
+        ("simulate", "wide", False),
     ),
-    "figure8": (("compile", "machine_4w", False),),
-    "baseline": (("simulate", "machine_4w", True),),
-    "regions": (("compile", "machine_4w", False),),
+    "figure8": (("compile", "base", False),),
+    "baseline": (("simulate", "base", True),),
+    "regions": (("compile", "base", False),),
     "example": (),
 }
 
@@ -101,6 +159,7 @@ class Evaluation:
         #: only once.  Pass a fresh :class:`repro.trace.TraceStore` to
         #: isolate, or set ``REPRO_NO_TRACE=1`` to disable replay.
         self.trace_store = trace_store
+        self._machines: Dict[str, MachineDescription] = {}
         self._programs: Dict[str, Program] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
@@ -318,10 +377,10 @@ class Evaluation:
         jobs: List["Job"] = []
         seen = set()
         for experiment in names:
-            for stage, machine_attr, model_icache in EXPERIMENT_NEEDS.get(
+            for stage, role, model_icache in EXPERIMENT_NEEDS.get(
                 experiment, ()
             ):
-                machine = getattr(self, machine_attr)
+                machine = self.machine_for(role)
                 for benchmark in self.settings.benchmarks:
                     if stage == "simulate":
                         # Mirror simulation()'s spec exactly, or warmed
@@ -402,13 +461,33 @@ class Evaluation:
     def benchmarks(self) -> List[str]:
         return list(self.settings.benchmarks)
 
+    def machine_for(self, role: str) -> MachineDescription:
+        """The built machine bound to ``role`` in the settings.
+
+        Registry names resolve to the shared module constants (so the
+        default evaluation uses the identical ``PLAYDOH_4W`` object the
+        rest of the codebase does); specs and spec files build once per
+        evaluation.
+        """
+        if role not in self._machines:
+            ref = self.settings.machine_ref(role)
+            if isinstance(ref, MachineSpec):
+                self._machines[role] = ref.build()
+            else:
+                self._machines[role] = by_name(ref)
+        return self._machines[role]
+
     @property
     def machine_4w(self) -> MachineDescription:
-        return PLAYDOH_4W
+        """The machine bound to the ``base`` role (``playdoh-4w`` by
+        default); kept for callers written against the paper's names."""
+        return self.machine_for("base")
 
     @property
     def machine_8w(self) -> MachineDescription:
-        return PLAYDOH_8W
+        """The machine bound to the ``wide`` role (``playdoh-8w`` by
+        default)."""
+        return self.machine_for("wide")
 
 
 def geometric_mean(values: List[float]) -> float:

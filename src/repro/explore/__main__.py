@@ -1,0 +1,6 @@
+"""``python -m repro.explore`` — same as the ``repro-explore`` script."""
+
+from repro.explore.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

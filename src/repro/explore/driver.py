@@ -1,0 +1,178 @@
+"""Execute design points through the evaluation stack.
+
+Each :class:`~repro.explore.space.DesignPoint` runs the paper's dynamic
+simulation (the table 2/4 machinery) per benchmark through one shared
+:class:`~repro.runner.Runner` — local pool or ``--service`` broker — so
+points that share stages dedupe on content-hash job keys exactly like
+any other sweep: one build/trace/profile per benchmark for the *whole*
+sweep, one compile/simulate per distinct (machine fingerprint,
+speculation config) pair.  The combined job graph across every point is
+warmed first, then results are pure cache reads.
+
+The result layer is deliberately plain data (no live machine objects) so
+:mod:`repro.explore.report` can serialise it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.evaluation.experiment import (
+    Evaluation,
+    EvaluationSettings,
+    geometric_mean,
+)
+from repro.explore.cost import machine_cost
+from repro.explore.space import DesignPoint
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One (point, benchmark) simulation, reduced to report scalars."""
+
+    benchmark: str
+    speedup: float
+    speedup_baseline: float
+    accuracy: float
+    cycles_nopred: int
+    cycles_proposed: int
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One evaluated design point."""
+
+    label: str
+    machine_name: str
+    fingerprint: str
+    assignment: Tuple[Tuple[str, Any], ...]
+    cost: float
+    #: Geometric-mean speedup of the proposed machine over no-prediction.
+    speedup: float
+    #: Arithmetic-mean prediction accuracy across benchmarks.
+    accuracy: float
+    benchmarks: Tuple[BenchmarkResult, ...]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "machine": self.machine_name,
+            "fingerprint": self.fingerprint,
+            "assignment": [[name, value] for name, value in self.assignment],
+            "cost": round(self.cost, 6),
+            "speedup": round(self.speedup, 6),
+            "accuracy": round(self.accuracy, 6),
+            "benchmarks": [
+                {
+                    "benchmark": b.benchmark,
+                    "speedup": round(b.speedup, 6),
+                    "speedup_baseline": round(b.speedup_baseline, 6),
+                    "accuracy": round(b.accuracy, 6),
+                    "cycles_nopred": b.cycles_nopred,
+                    "cycles_proposed": b.cycles_proposed,
+                }
+                for b in self.benchmarks
+            ],
+        }
+
+
+def _evaluation_for(
+    point: DesignPoint,
+    scale: float,
+    benchmarks: Optional[Sequence[str]],
+    runner,
+) -> Evaluation:
+    settings = EvaluationSettings(
+        scale=scale, spec_config=point.spec_config
+    ).with_benchmarks(benchmarks).with_machine("base", point.spec)
+    return Evaluation(settings, runner=runner)
+
+
+def explore_points(
+    points: Sequence[DesignPoint],
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    runner=None,
+    progress=None,
+) -> List[PointResult]:
+    """Evaluate every design point; returns results in point order.
+
+    With a runner, the union of all points' job graphs is warmed first
+    (one parallel/remote execution with cross-point dedup), then each
+    point reads its simulations back from cache.
+    """
+    evaluations = [
+        _evaluation_for(point, scale, benchmarks, runner) for point in points
+    ]
+    if runner is not None:
+        jobs = []
+        seen = set()
+        for evaluation in evaluations:
+            for job in evaluation.required_jobs(["table2"]):
+                if job.key() not in seen:
+                    seen.add(job.key())
+                    jobs.append(job)
+        if jobs:
+            runner.run(jobs)
+
+    results: List[PointResult] = []
+    for point, evaluation in zip(points, evaluations):
+        if progress is not None:
+            progress(point)
+        bench_results: List[BenchmarkResult] = []
+        for name in evaluation.benchmarks:
+            sim = evaluation.simulation(name, evaluation.machine_for("base"))
+            bench_results.append(
+                BenchmarkResult(
+                    benchmark=name,
+                    speedup=sim.speedup_proposed,
+                    speedup_baseline=sim.speedup_baseline,
+                    accuracy=sim.prediction_accuracy,
+                    cycles_nopred=sim.cycles_nopred,
+                    cycles_proposed=sim.cycles_proposed,
+                )
+            )
+        results.append(
+            PointResult(
+                label=point.label,
+                machine_name=point.spec.name,
+                fingerprint=point.fingerprint(),
+                assignment=point.assignment,
+                cost=machine_cost(point.spec),
+                speedup=geometric_mean([b.speedup for b in bench_results]),
+                accuracy=(
+                    sum(b.accuracy for b in bench_results) / len(bench_results)
+                    if bench_results
+                    else 0.0
+                ),
+                benchmarks=tuple(bench_results),
+            )
+        )
+    return results
+
+
+def pareto_frontier(results: Sequence[PointResult]) -> List[PointResult]:
+    """The cost/speedup Pareto-optimal subset, cheapest first.
+
+    A point is on the frontier iff no other point is at most as costly
+    *and* strictly faster (ties on both axes keep the first occurrence
+    in input order, so frontiers are deterministic).
+    """
+    frontier: List[PointResult] = []
+    # Sort by (cost asc, speedup desc, label) — then a single max-scan
+    # keeps exactly the non-dominated points.
+    ordered = sorted(
+        enumerate(results),
+        key=lambda iv: (iv[1].cost, -iv[1].speedup, iv[1].label, iv[0]),
+    )
+    best = float("-inf")
+    seen_keys = set()
+    for _, result in ordered:
+        if result.speedup > best:
+            best = result.speedup
+            key = (result.cost, result.speedup)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                frontier.append(result)
+    return frontier

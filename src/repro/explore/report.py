@@ -1,0 +1,140 @@
+"""Deterministic design-space reports: JSON artifact, text table, plot.
+
+The JSON artifact is schema-versioned and carries *no* timestamps or
+host details, so two runs of the same sweep — local or ``--service`` —
+produce byte-identical files (the CI ``explore-smoke`` job diffs them).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.explore.driver import PointResult, pareto_frontier
+from repro.explore.space import DesignSpace
+from repro.ir.printer import format_table
+
+#: Bump when the artifact shape changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+def report_payload(
+    space: DesignSpace,
+    results: Sequence[PointResult],
+    scale: float,
+    benchmarks: Sequence[str],
+) -> Dict[str, Any]:
+    """The full sweep artifact as JSON-ready primitives."""
+    frontier = pareto_frontier(results)
+    frontier_labels = {r.label for r in frontier}
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "base_machine": space.base.canonical(),
+        "axes": [
+            {"name": axis.name, "values": list(axis.values)}
+            for axis in space.axes
+        ],
+        "scale": repr(scale),
+        "benchmarks": list(benchmarks),
+        "points": [
+            dict(r.to_json(), pareto=r.label in frontier_labels)
+            for r in results
+        ],
+        "frontier": [r.label for r in frontier],
+    }
+
+
+def dump_report(payload: Dict[str, Any]) -> str:
+    """Canonical serialisation (sorted keys, stable float formatting)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_table(results: Sequence[PointResult]) -> str:
+    """Human-readable sweep summary, frontier points starred."""
+    frontier_labels = {r.label for r in pareto_frontier(results)}
+    body = []
+    for r in sorted(results, key=lambda r: (-r.speedup, r.cost, r.label)):
+        body.append(
+            (
+                ("*" if r.label in frontier_labels else " ") + r.label,
+                f"{r.speedup:.3f}",
+                f"{r.cost:.2f}",
+                f"{r.accuracy:.3f}",
+                r.fingerprint[:12],
+            )
+        )
+    table = format_table(
+        ["Point (* = Pareto)", "Speedup", "Cost", "Accuracy", "Machine"],
+        body,
+    )
+    return "Design-space exploration (speedup vs hardware cost)\n" + table
+
+
+def render_frontier(results: Sequence[PointResult]) -> str:
+    frontier = pareto_frontier(results)
+    lines = ["Pareto frontier (cheapest first):"]
+    for r in frontier:
+        lines.append(
+            f"  cost {r.cost:8.2f}  speedup {r.speedup:.3f}  {r.label}"
+        )
+    return "\n".join(lines)
+
+
+def plot_frontier(
+    results: Sequence[PointResult], path: str
+) -> Optional[str]:
+    """Write a cost-vs-speedup scatter with the frontier highlighted.
+
+    Needs matplotlib; returns ``None`` (and writes nothing) when it is
+    not installed — the JSON artifact is the canonical output, the plot
+    a convenience.
+    """
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+
+    frontier = pareto_frontier(results)
+    fig, ax = plt.subplots(figsize=(7, 5))
+    ax.scatter(
+        [r.cost for r in results],
+        [r.speedup for r in results],
+        s=18,
+        color="#888888",
+        label="design points",
+    )
+    ax.plot(
+        [r.cost for r in frontier],
+        [r.speedup for r in frontier],
+        marker="o",
+        color="#d62728",
+        label="Pareto frontier",
+    )
+    for r in frontier:
+        ax.annotate(
+            r.label, (r.cost, r.speedup), fontsize=6,
+            textcoords="offset points", xytext=(4, 4),
+        )
+    ax.set_xlabel("relative hardware cost")
+    ax.set_ylabel("geomean speedup vs no prediction")
+    ax.set_title("Value-prediction design space")
+    ax.legend(loc="lower right", fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    return path
+
+
+def load_report(text: str) -> Dict[str, Any]:
+    """Parse + schema-check a report artifact."""
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"explore report schema v{schema} unsupported "
+            f"(this code reads v{REPORT_SCHEMA_VERSION})"
+        )
+    return payload

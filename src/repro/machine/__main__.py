@@ -1,0 +1,164 @@
+"""Command-line introspection for machine specs.
+
+Usage::
+
+    python -m repro.machine list                # registry contents
+    python -m repro.machine show playdoh-4w     # one spec, human form
+    python -m repro.machine show machines/x.toml --json
+    python -m repro.machine digest playdoh-8w   # content fingerprint
+    python -m repro.machine digest              # all registry machines
+    python -m repro.machine diff playdoh-4w playdoh-8w
+
+Mirrors ``python -m repro.compiler``: ``show --json`` prints the exact
+canonical (cache-key) form, ``digest`` the fingerprints job keys embed,
+and ``diff`` the canonical fields where two machines disagree.  Every
+spec argument accepts a registry name or a ``.json``/``.toml`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.machine.configs import registry_names, spec_by_name
+from repro.machine.spec import MachineSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.machine",
+        description="Inspect declarative machine configurations.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    list_cmd = sub.add_parser("list", help="print the machine registry")
+    list_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit {name: canonical spec} instead of the summary table",
+    )
+
+    show = sub.add_parser(
+        "show", help="print one machine spec in full"
+    )
+    show.add_argument("spec", metavar="NAME|SPEC-FILE")
+    show.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical (cache-key) form instead of text",
+    )
+
+    digest = sub.add_parser(
+        "digest",
+        help="print content fingerprints (what runner job keys embed)",
+    )
+    digest.add_argument(
+        "specs", metavar="NAME|SPEC-FILE", nargs="*",
+        help="machines to fingerprint (default: the whole registry)",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="print canonical fields where two machines disagree"
+    )
+    diff.add_argument("left", metavar="NAME|SPEC-FILE")
+    diff.add_argument("right", metavar="NAME|SPEC-FILE")
+    return parser
+
+
+def _resolve(ref: str) -> MachineSpec:
+    return spec_by_name(ref)
+
+
+def _run_list(as_json: bool) -> int:
+    names = registry_names()
+    if as_json:
+        payload = {name: spec_by_name(name).canonical() for name in names}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for name in names:
+        spec = spec_by_name(name)
+        units = ", ".join(
+            f"{fu.value}:{count}" for fu, count in spec.units.items()
+        )
+        print(
+            f"{name:<12} {spec.issue_width}-wide  [{units}]  "
+            f"{spec.fingerprint()[:12]}"
+        )
+    return 0
+
+
+def _run_show(ref: str, as_json: bool) -> int:
+    spec = _resolve(ref)
+    if as_json:
+        payload = {
+            "fingerprint": spec.fingerprint(),
+            "machine": spec.canonical(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(spec)
+    return 0
+
+
+def _run_digest(refs: List[str]) -> int:
+    names = refs or list(registry_names())
+    for ref in names:
+        spec = _resolve(ref)
+        print(f"{spec.name} {spec.fingerprint()}")
+    return 0
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    else:
+        out[prefix] = value
+
+
+def _run_diff(left_ref: str, right_ref: str) -> int:
+    left, right = _resolve(left_ref), _resolve(right_ref)
+    if left.fingerprint() == right.fingerprint():
+        print(f"identical: {left.fingerprint()}")
+        return 0
+    flat: Tuple[Dict[str, Any], Dict[str, Any]] = ({}, {})
+    _flatten("", left.canonical(), flat[0])
+    _flatten("", right.canonical(), flat[1])
+    width = max(len(k) for k in set(flat[0]) | set(flat[1]))
+    print(f"--- {left.name} ({left.fingerprint()[:12]})")
+    print(f"+++ {right.name} ({right.fingerprint()[:12]})")
+    missing = object()
+    for key in sorted(set(flat[0]) | set(flat[1])):
+        a, b = flat[0].get(key, missing), flat[1].get(key, missing)
+        if a == b:
+            continue
+        a_text = "<absent>" if a is missing else json.dumps(a)
+        b_text = "<absent>" if b is missing else json.dumps(b)
+        print(f"  {key:<{width}}  {a_text} -> {b_text}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command in (None, "list"):
+            return _run_list(getattr(args, "json", False))
+        if args.command == "show":
+            return _run_show(args.spec, args.json)
+        if args.command == "digest":
+            return _run_digest(args.specs)
+        if args.command == "diff":
+            return _run_diff(args.left, args.right)
+    except (KeyError, ValueError) as exc:
+        message = str(exc)
+        # KeyError reprs its argument; unwrap for readability.
+        if isinstance(exc, KeyError) and exc.args:
+            message = str(exc.args[0])
+        print(message, file=sys.stderr)
+        return 2
+    print(f"unknown command {args.command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

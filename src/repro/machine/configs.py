@@ -5,62 +5,124 @@ integer units, one floating-point unit, one memory unit and one branch
 unit (the standard Trimaran/HPL-PD default configuration).  ``PLAYDOH_8W``
 doubles everything, which is how the paper builds the wider machine for
 the Table 4 scaling study.
+
+Every constant is materialised from a declarative
+:class:`~repro.machine.spec.MachineSpec` (the ``*_SPEC`` twins), and all
+of them live in a registry built once at import time.  :func:`by_name`
+resolves registry names *or* spec files — ``by_name("playdoh-4w")`` and
+``by_name("machines/wide.toml")`` both work — so experiments and the
+:mod:`repro.explore` driver never need to hard-code Python constants.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
 from repro.ir.opcodes import FUClass
 from repro.machine.description import MachineDescription
-from repro.machine.resources import FUPool
+from repro.machine.spec import MachineSpec, load_spec
 
-PLAYDOH_4W = MachineDescription(
+PLAYDOH_4W_SPEC = MachineSpec(
     name="playdoh-4w",
     issue_width=4,
-    pool=FUPool(
-        {
-            FUClass.IALU: 2,
-            FUClass.FALU: 1,
-            FUClass.MEM: 1,
-            FUClass.BRANCH: 1,
-        }
-    ),
+    units={
+        FUClass.IALU: 2,
+        FUClass.FALU: 1,
+        FUClass.MEM: 1,
+        FUClass.BRANCH: 1,
+    },
 )
 
-PLAYDOH_8W = MachineDescription(
-    name="playdoh-8w",
-    issue_width=8,
-    pool=FUPool(
-        {
-            FUClass.IALU: 4,
-            FUClass.FALU: 2,
-            FUClass.MEM: 2,
-            FUClass.BRANCH: 2,
-        }
-    ),
-)
+#: The Table 4 wide machine: the 4-wide spec, doubled.
+PLAYDOH_8W_SPEC = PLAYDOH_4W_SPEC.widened(2, name="playdoh-8w")
 
 #: A machine wide enough to never bind on resources; used by unit tests to
 #: isolate dependence-driven behaviour from resource contention.
-UNLIMITED = MachineDescription(
+UNLIMITED_SPEC = MachineSpec(
     name="unlimited",
     issue_width=64,
-    pool=FUPool(
-        {
-            FUClass.IALU: 64,
-            FUClass.FALU: 64,
-            FUClass.MEM: 64,
-            FUClass.BRANCH: 64,
-        }
-    ),
+    units={
+        FUClass.IALU: 64,
+        FUClass.FALU: 64,
+        FUClass.MEM: 64,
+        FUClass.BRANCH: 64,
+    },
 )
 
+PLAYDOH_4W = PLAYDOH_4W_SPEC.build()
+PLAYDOH_8W = PLAYDOH_8W_SPEC.build()
+UNLIMITED = UNLIMITED_SPEC.build()
 
-def by_name(name: str) -> MachineDescription:
-    """Look up a predefined configuration by name."""
-    table = {m.name: m for m in (PLAYDOH_4W, PLAYDOH_8W, UNLIMITED)}
-    try:
-        return table[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown machine {name!r}; available: {sorted(table)}"
-        ) from None
+#: name -> (spec, built description).  Built once at import; the built
+#: descriptions are the module constants themselves, so
+#: ``by_name("playdoh-4w") is PLAYDOH_4W`` holds.
+_REGISTRY: Dict[str, Tuple[MachineSpec, MachineDescription]] = {
+    spec.name: (spec, machine)
+    for spec, machine in (
+        (PLAYDOH_4W_SPEC, PLAYDOH_4W),
+        (PLAYDOH_8W_SPEC, PLAYDOH_8W),
+        (UNLIMITED_SPEC, UNLIMITED),
+    )
+}
+
+
+def registry_names() -> Tuple[str, ...]:
+    """Registered machine names, in sorted order."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_machine(spec: MachineSpec, replace: bool = False) -> MachineDescription:
+    """Add ``spec`` to the registry and return its built description.
+
+    Registration makes the machine resolvable through :func:`by_name` and
+    :func:`spec_by_name` for the rest of the process (tests and the
+    explore driver use this for ad-hoc machines).
+    """
+    if spec.name in _REGISTRY and not replace:
+        existing, machine = _REGISTRY[spec.name]
+        if existing.fingerprint() == spec.fingerprint():
+            return machine
+        raise ValueError(
+            f"machine {spec.name!r} is already registered with a different "
+            f"configuration; pass replace=True to override"
+        )
+    machine = spec.build()
+    _REGISTRY[spec.name] = (spec, machine)
+    return machine
+
+
+def _looks_like_path(name: str) -> bool:
+    return (
+        name.endswith(".json")
+        or name.endswith(".toml")
+        or "/" in name
+        or "\\" in name
+    )
+
+
+def spec_by_name(name: Union[str, Path]) -> MachineSpec:
+    """Resolve a registry name or a ``.json``/``.toml`` spec-file path to
+    a :class:`MachineSpec`."""
+    key = str(name)
+    if key in _REGISTRY:
+        return _REGISTRY[key][0]
+    if _looks_like_path(key) or Path(key).exists():
+        return load_spec(key)
+    raise KeyError(
+        f"unknown machine {key!r}; registered: {sorted(_REGISTRY)}; "
+        f"or pass a path to a .json/.toml machine spec file"
+    )
+
+
+def by_name(name: Union[str, Path]) -> MachineDescription:
+    """Resolve a registry name or spec-file path to a built description.
+
+    Registry names return the shared module constants (identity is
+    preserved: ``by_name('playdoh-4w') is PLAYDOH_4W``); spec files are
+    loaded, validated and built on each call.
+    """
+    key = str(name)
+    if key in _REGISTRY:
+        return _REGISTRY[key][1]
+    return spec_by_name(key).build()

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional
 
 from repro.ir.opcodes import FUClass, Opcode, fu_class
+from repro.machine.predictor import PredictorSpec
 from repro.machine.resources import FUPool
 
 #: Default operation latencies, in cycles.  Unit-latency integer ALU ops
@@ -61,6 +62,11 @@ class MachineDescription:
             comparing the loaded value against the prediction (0 keeps the
             paper's worked-example timing, where the check completes with
             the load's own latency).
+        ccb_capacity: Compensation Code Buffer entries; ``None`` models the
+            paper's unbounded buffer.
+        ovb_capacity: Operand Value Buffer entries; ``None`` is unbounded.
+        sync_width: Synchronization-register width in bits.
+        predictor: the hardware value predictor this machine ships.
     """
 
     name: str
@@ -69,6 +75,10 @@ class MachineDescription:
     latencies: Mapping[Opcode, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
     branch_penalty: int = 2
     check_compare_cost: int = 0
+    ccb_capacity: Optional[int] = None
+    ovb_capacity: Optional[int] = None
+    sync_width: int = 64
+    predictor: PredictorSpec = field(default_factory=PredictorSpec)
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -78,6 +88,22 @@ class MachineDescription:
         for opcode, lat in self.latencies.items():
             if lat < 1:
                 raise ValueError(f"latency of {opcode.value} must be >= 1")
+        for label, capacity in (
+            ("ccb_capacity", self.ccb_capacity),
+            ("ovb_capacity", self.ovb_capacity),
+        ):
+            if capacity is not None and capacity < 1:
+                raise ValueError(f"{label} must be positive or None")
+        if self.sync_width < 1:
+            raise ValueError("sync_width must be positive")
+        # Canonical latency order: a machine rebuilt from its spec's
+        # canonical JSON must be byte-identical (pickle included) to the
+        # original, whatever order the caller's mapping carried.
+        object.__setattr__(
+            self,
+            "latencies",
+            dict(sorted(self.latencies.items(), key=lambda kv: kv[0].value)),
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -92,6 +118,18 @@ class MachineDescription:
 
     def units(self, fu: FUClass) -> int:
         return self.pool.count(fu)
+
+    def spec(self):
+        """The declarative :class:`repro.machine.spec.MachineSpec` form of
+        this description (lossless; ``spec().build()`` round-trips)."""
+        from repro.machine.spec import MachineSpec
+
+        return MachineSpec.from_description(self)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical spec form.  Runner job
+        keys and the service wire format address machines by this."""
+        return self.spec().fingerprint()
 
     # -- derivation ----------------------------------------------------------
 

@@ -16,7 +16,13 @@ from repro.ir.opcodes import FUClass
 
 @dataclass(frozen=True)
 class FUPool:
-    """Counts of functional units per class."""
+    """Counts of functional units per class.
+
+    The mapping is normalised to a canonical (class-value-sorted) order
+    at construction, so two pools with the same counts are identical
+    objects down to their serialised bytes — the service wire format
+    relies on rebuilt machines being indistinguishable from originals.
+    """
 
     counts: Mapping[FUClass, int]
 
@@ -24,6 +30,11 @@ class FUPool:
         for fu, count in self.counts.items():
             if count < 0:
                 raise ValueError(f"negative unit count for {fu}")
+        object.__setattr__(
+            self,
+            "counts",
+            dict(sorted(self.counts.items(), key=lambda kv: kv[0].value)),
+        )
 
     def count(self, fu: FUClass) -> int:
         return self.counts.get(fu, 0)

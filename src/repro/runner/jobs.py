@@ -67,7 +67,7 @@ from repro.machine.description import MachineDescription
 
 #: Bump whenever a pipeline stage's semantics change in a way that makes
 #: previously cached results wrong.  Part of every job key.
-CODE_VERSION = "2026.08.5"
+CODE_VERSION = "2026.08.6"
 
 #: The built-in pipeline stages, in dependency order.
 PIPELINE_STAGES = ("build", "trace", "profile", "compile", "simulate")
@@ -120,14 +120,24 @@ class JobSpec:
     pipeline: Optional[PipelineConfig] = None
 
     def key(self) -> str:
-        """Content hash addressing this job's result in the disk cache."""
+        """Content hash addressing this job's result in the disk cache.
+
+        The machine joins the key through its spec ``fingerprint()`` —
+        the content hash of its canonical declarative form — so every
+        distinct machine axis (width, FU mix, latencies, buffer
+        geometry, predictor, ...) keys distinctly, and a machine loaded
+        from a spec file keys identically to the equivalent registry
+        constant.
+        """
         payload = json.dumps(
             {
                 "code_version": CODE_VERSION,
                 "stage": self.stage,
                 "benchmark": self.benchmark,
                 "scale": repr(self.scale),
-                "machine": _canonical(self.machine),
+                "machine": (
+                    None if self.machine is None else self.machine.fingerprint()
+                ),
                 "spec_config": _canonical(self.spec_config),
                 "params": _canonical(self.params),
                 # The canonical form, not the dataclass: it excludes

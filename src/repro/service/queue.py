@@ -60,6 +60,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     job_id TEXT NOT NULL,
     stage TEXT NOT NULL,
     blob TEXT NOT NULL,
+    machines TEXT NOT NULL DEFAULT '{}',
     state TEXT NOT NULL DEFAULT 'pending',
     attempts INTEGER NOT NULL DEFAULT 0,
     worker TEXT,
@@ -142,6 +143,12 @@ class SweepQueue:
         for column in ("pending_since", "lease_started", "settled"):
             if column not in existing:
                 conn.execute(f"ALTER TABLE jobs ADD COLUMN {column} REAL")
+        if "machines" not in existing:
+            # Wire v2: jobs carry their machine specs as canonical JSON
+            # beside the opaque blob.  Pre-v2 rows read the empty table.
+            conn.execute(
+                "ALTER TABLE jobs ADD COLUMN machines TEXT NOT NULL DEFAULT '{}'"
+            )
 
     @contextmanager
     def _txn(self) -> Iterator[sqlite3.Connection]:
@@ -227,11 +234,13 @@ class SweepQueue:
                 if row is None:
                     conn.execute(
                         "INSERT OR IGNORE INTO jobs "
-                        "(key, job_id, stage, blob, state, created, "
-                        "pending_since) VALUES (?, ?, ?, ?, 'pending', ?, ?)",
+                        "(key, job_id, stage, blob, machines, state, created, "
+                        "pending_since) VALUES (?, ?, ?, ?, ?, 'pending', ?, ?)",
                         (
                             key, entry["job_id"], entry["stage"],
-                            entry["blob"], now, now,
+                            entry["blob"],
+                            json.dumps(entry.get("machines") or {}),
+                            now, now,
                         ),
                     )
                     conn.executemany(
@@ -443,8 +452,8 @@ class SweepQueue:
         now = time.time()
         with self._txn() as conn:
             row = conn.execute(
-                "SELECT key, job_id, stage, blob, attempts, pending_since, "
-                "created FROM jobs j "
+                "SELECT key, job_id, stage, blob, machines, attempts, "
+                "pending_since, created FROM jobs j "
                 "WHERE j.state = 'pending' AND NOT EXISTS ("
                 "    SELECT 1 FROM deps d JOIN jobs dj ON dj.key = d.dep "
                 "    WHERE d.key = j.key AND dj.state != 'done'"
@@ -452,7 +461,10 @@ class SweepQueue:
             ).fetchone()
             if row is None:
                 return None
-            key, job_id, stage, blob, attempts, pending_since, created = row
+            (
+                key, job_id, stage, blob, machines,
+                attempts, pending_since, created,
+            ) = row
             conn.execute(
                 "UPDATE jobs SET state = 'leased', worker = ?, "
                 "lease_expires = ?, attempts = ?, lease_started = ? "
@@ -475,6 +487,7 @@ class SweepQueue:
             "job_id": job_id,
             "stage": stage,
             "blob": blob,
+            "machines": json.loads(machines or "{}"),
             "attempt": attempts + 1,
             "lease_timeout": self.lease_timeout,
         }

@@ -5,7 +5,8 @@ A sweep submission carries the *full dependency closure* of its jobs
 before packing), each job as::
 
     {"key": <content hash>, "job_id": <human id>, "stage": <stage>,
-     "deps": [<dep keys>], "blob": <base64 pickle of the Job>}
+     "deps": [<dep keys>], "blob": <base64 pickle of the Job>,
+     "machines": {<fingerprint>: <canonical MachineSpec JSON>}}
 
 The broker schedules from the plain fields alone — key, stage, deps —
 and never unpickles the blob, so a broker keeps working across client
@@ -16,47 +17,143 @@ code than the submitting client gets a loud :class:`WireError` instead
 of silently caching results under a key that lies about what produced
 them.
 
-Pickle is the payload codec for the same reason the result cache uses
-it: specs carry real dataclasses (machine descriptions, speculation and
-pipeline configs) and workers share the client's codebase.  The broker
-is a trusted, same-team service — not an internet-facing one; see
-``docs/SERVICE.md``.
+Machines never travel as pickled ``MachineDescription`` objects (wire
+v2).  :func:`pack_job` strips every machine out of the blob, replacing
+it with a fingerprint placeholder, and ships the canonical declarative
+:class:`repro.machine.MachineSpec` JSON in the side-table ``machines``
+field.  :func:`unpack_job` re-parses that JSON through the spec layer —
+which *validates* the configuration — re-fingerprints it, and rejects
+any spec whose recomputed fingerprint disagrees with the placeholder.
+A tampered or corrupted machine config therefore fails loudly at decode
+time instead of silently simulating the wrong machine (the trust gap
+``docs/SERVICE.md`` flagged for wire v1).
+
+Pickle remains the codec for the rest of the spec (speculation and
+pipeline configs) for the same reason the result cache uses it: workers
+share the client's codebase.  The broker is a trusted, same-team
+service — not an internet-facing one; see ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
 
 import base64
+import dataclasses
+import json
 import pickle
 from typing import Any, Dict, List, Sequence
 
-from repro.runner.jobs import CODE_VERSION, Job
+from repro.machine.description import MachineDescription
+from repro.machine.spec import MachineSpec
+from repro.runner.jobs import CODE_VERSION, Job, JobSpec
 
 #: Bump when the payload shape (not the job semantics) changes.
-WIRE_VERSION = 1
+#: v2: machines travel as canonical spec JSON, not inside the pickle.
+WIRE_VERSION = 2
 
 
 class WireError(ValueError):
     """A payload that cannot be (safely) turned back into jobs."""
 
 
+@dataclasses.dataclass(frozen=True)
+class _MachineRef:
+    """Placeholder standing in for a machine inside the pickled blob.
+
+    Only the fingerprint travels; the spec JSON rides in the payload's
+    ``machines`` side table, and :func:`unpack_job` swaps the rebuilt
+    description back in.
+    """
+
+    fingerprint: str
+
+
+def _strip_machine(
+    spec: JobSpec, machines: Dict[str, Dict[str, Any]]
+) -> JobSpec:
+    if spec.machine is None:
+        return spec
+    machine_spec = MachineSpec.from_description(spec.machine)
+    fingerprint = machine_spec.fingerprint()
+    machines.setdefault(fingerprint, machine_spec.canonical())
+    return dataclasses.replace(spec, machine=_MachineRef(fingerprint))
+
+
+def _restore_machine(
+    spec: JobSpec, built: Dict[str, MachineDescription]
+) -> JobSpec:
+    ref = spec.machine
+    if ref is None:
+        return spec
+    if not isinstance(ref, _MachineRef):
+        raise WireError(
+            f"job {spec.job_id!r}: blob carries a pickled "
+            f"{type(ref).__name__} machine; wire v{WIRE_VERSION} ships "
+            "machines as canonical spec JSON"
+        )
+    try:
+        machine = built[ref.fingerprint]
+    except KeyError:
+        raise WireError(
+            f"machine {ref.fingerprint[:12]}… referenced by a job but "
+            "missing from the payload's machines table"
+        ) from None
+    return dataclasses.replace(spec, machine=machine)
+
+
+def _build_machines(
+    table: Dict[str, Any], job_id: str
+) -> Dict[str, MachineDescription]:
+    """Validate + build every spec in a packed job's machine table.
+
+    Each entry re-parses through :meth:`MachineSpec.from_canonical`
+    (which validates) and must re-fingerprint to its own table key.
+    """
+    built: Dict[str, MachineDescription] = {}
+    for fingerprint, canonical in dict(table).items():
+        try:
+            spec = MachineSpec.from_canonical(canonical)
+        except (ValueError, TypeError) as exc:
+            raise WireError(
+                f"job {job_id!r}: invalid machine spec on the wire: {exc}"
+            ) from exc
+        recomputed = spec.fingerprint()
+        if recomputed != fingerprint:
+            raise WireError(
+                f"job {job_id!r}: machine spec fingerprint mismatch "
+                f"(payload {str(fingerprint)[:12]}…, recomputed "
+                f"{recomputed[:12]}…) — tampered or corrupted machine "
+                "config"
+            )
+        built[fingerprint] = spec.build()
+    return built
+
+
 def pack_job(job: Job) -> Dict[str, Any]:
+    machines: Dict[str, Dict[str, Any]] = {}
+    stripped = Job(
+        spec=_strip_machine(job.spec, machines),
+        deps=tuple(_strip_machine(dep, machines) for dep in job.deps),
+    )
     return {
         "key": job.key(),
         "job_id": job.job_id,
         "stage": job.spec.stage,
         "deps": [dep.key() for dep in job.deps],
         "blob": base64.b64encode(
-            pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dumps(stripped, protocol=pickle.HIGHEST_PROTOCOL)
         ).decode("ascii"),
+        "machines": machines,
     }
 
 
 def unpack_job(payload: Dict[str, Any]) -> Job:
-    """Decode one packed job, verifying its content hash.
+    """Decode one packed job, verifying machine specs and content hash.
 
-    The recomputed key must equal the packed one — a mismatch means the
-    sender and this process disagree on ``CODE_VERSION`` or on the spec
-    canonicalisation, and results would be cached under wrong addresses.
+    Machines are rebuilt from the payload's canonical spec JSON (never
+    from the pickle), then the recomputed ``Job.key()`` must equal the
+    packed one — a mismatch means the sender and this process disagree
+    on ``CODE_VERSION`` or on the spec canonicalisation, and results
+    would be cached under wrong addresses.
     """
     try:
         job = pickle.loads(base64.b64decode(payload["blob"]))
@@ -64,6 +161,13 @@ def unpack_job(payload: Dict[str, Any]) -> Job:
         raise WireError(f"cannot decode job blob: {exc!r}") from exc
     if not isinstance(job, Job):
         raise WireError(f"decoded object is {type(job).__name__}, not Job")
+    built = _build_machines(
+        payload.get("machines") or {}, str(payload.get("job_id"))
+    )
+    job = Job(
+        spec=_restore_machine(job.spec, built),
+        deps=tuple(_restore_machine(dep, built) for dep in job.deps),
+    )
     if job.key() != payload.get("key"):
         raise WireError(
             f"job {payload.get('job_id')!r}: key mismatch after decode "

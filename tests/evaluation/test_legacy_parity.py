@@ -1,0 +1,85 @@
+"""The spec layer must not move any paper number.
+
+PR 8 rebuilt machine configuration as declarative specs and rerouted the
+evaluation through role-resolved machines.  These tests pin the refactor
+down: the paper tables render byte-identically whether machines come
+from the legacy module constants, from explicit specs, or from spec
+files on disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import table2, table4
+from repro.evaluation.experiment import Evaluation, EvaluationSettings
+from repro.machine.configs import (
+    PLAYDOH_4W,
+    PLAYDOH_4W_SPEC,
+    PLAYDOH_8W,
+    PLAYDOH_8W_SPEC,
+)
+
+SCALE = 0.05
+BENCHMARKS = ["compress", "li"]
+
+
+def settings() -> EvaluationSettings:
+    return EvaluationSettings(scale=SCALE).with_benchmarks(BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def default_tables():
+    evaluation = Evaluation(settings())
+    return (
+        table2.render(table2.compute(evaluation)),
+        table4.render(table4.compute(evaluation)),
+    )
+
+
+class TestLegacyParity:
+    def test_default_roles_resolve_to_the_legacy_constants(self):
+        evaluation = Evaluation(settings())
+        assert evaluation.machine_for("base") is PLAYDOH_4W
+        assert evaluation.machine_for("wide") is PLAYDOH_8W
+        assert evaluation.machine_4w is PLAYDOH_4W
+        assert evaluation.machine_8w is PLAYDOH_8W
+
+    def test_explicit_specs_render_identical_tables(self, default_tables):
+        bound = Evaluation(
+            settings()
+            .with_machine("base", PLAYDOH_4W_SPEC)
+            .with_machine("wide", PLAYDOH_8W_SPEC)
+        )
+        assert table2.render(table2.compute(bound)) == default_tables[0]
+        assert table4.render(table4.compute(bound)) == default_tables[1]
+
+    def test_spec_files_render_identical_tables(self, tmp_path, default_tables):
+        base = tmp_path / "base.json"
+        wide = tmp_path / "wide.json"
+        base.write_text(PLAYDOH_4W_SPEC.to_json(), encoding="utf-8")
+        wide.write_text(PLAYDOH_8W_SPEC.to_json(), encoding="utf-8")
+        bound = Evaluation(
+            settings()
+            .with_machine("base", str(base))
+            .with_machine("wide", str(wide))
+        )
+        assert table2.render(table2.compute(bound)) == default_tables[0]
+        assert table4.render(table4.compute(bound)) == default_tables[1]
+
+    def test_job_keys_identical_across_machine_sources(self, tmp_path):
+        """Registry name, inline spec and spec file address the SAME
+        cache entries — the fingerprint is the only machine identity."""
+        path = tmp_path / "base.json"
+        path.write_text(PLAYDOH_4W_SPEC.to_json(), encoding="utf-8")
+        keysets = []
+        for ref in ("playdoh-4w", PLAYDOH_4W_SPEC, str(path)):
+            evaluation = Evaluation(settings().with_machine("base", ref))
+            keysets.append(
+                {job.key() for job in evaluation.required_jobs(["table2"])}
+            )
+        assert keysets[0] == keysets[1] == keysets[2]
+
+    def test_unknown_role_is_a_clean_error(self):
+        with pytest.raises(KeyError, match="no machine bound"):
+            Evaluation(settings()).machine_for("gpu")

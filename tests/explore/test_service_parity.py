@@ -1,0 +1,83 @@
+"""A sweep's report artifact must be identical local vs --service.
+
+The acceptance bar for the explore driver riding the sweep service: the
+same design space executed runner-less, through a local Runner, and
+through an in-process broker + worker fleet must serialise to the same
+bytes — machines travel as canonical spec JSON on the wire and rebuild
+into the exact machines the local run used.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.explore.driver import explore_points
+from repro.explore.report import dump_report, report_payload
+from repro.explore.space import Axis, DesignSpace
+from repro.machine.configs import PLAYDOH_4W_SPEC
+from repro.service.backends import SQLiteCache
+from repro.service.broker import Broker
+from repro.service.client import ServiceClient, ServiceRunner
+from repro.service.queue import SweepQueue
+from repro.service.worker import Worker
+
+SCALE = 0.05
+BENCHMARKS = ["compress"]
+
+
+@pytest.fixture()
+def space():
+    return DesignSpace(
+        base=PLAYDOH_4W_SPEC,
+        axes=(Axis.parse("issue_width=2,4"), Axis.parse("threshold=0.5,0.8")),
+    )
+
+
+class TestServiceParity:
+    def test_artifact_identical_local_vs_service(self, tmp_path, space):
+        local = explore_points(
+            space.grid(), scale=SCALE, benchmarks=BENCHMARKS
+        )
+
+        cache = SQLiteCache(tmp_path / "cache.db")
+        queue = SweepQueue(tmp_path / "queue.db", lease_timeout=30.0)
+        broker = Broker(queue, cache).start()
+        workers, threads = [], []
+        try:
+            for n in range(2):
+                worker = Worker(
+                    ServiceClient(broker.url),
+                    cache,
+                    name=f"explore-w{n}",
+                    poll=0.05,
+                )
+                thread = threading.Thread(target=worker.run, daemon=True)
+                thread.start()
+                workers.append(worker)
+                threads.append(thread)
+
+            runner = ServiceRunner(broker.url, poll=0.05)
+            try:
+                remote = explore_points(
+                    space.grid(), scale=SCALE, benchmarks=BENCHMARKS,
+                    runner=runner,
+                )
+            finally:
+                runner.close()
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            broker.stop()
+            cache.close()
+
+        local_text = dump_report(
+            report_payload(space, local, SCALE, BENCHMARKS)
+        )
+        remote_text = dump_report(
+            report_payload(space, remote, SCALE, BENCHMARKS)
+        )
+        assert remote_text == local_text

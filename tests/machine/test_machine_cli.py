@@ -1,0 +1,93 @@
+"""The ``python -m repro.machine`` introspection CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine.__main__ import main
+from repro.machine.configs import PLAYDOH_4W_SPEC, registry_names, spec_by_name
+
+
+class TestList:
+    def test_lists_every_registered_machine(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry_names():
+            assert name in out
+
+    def test_default_command_is_list(self, capsys):
+        assert main([]) == 0
+        assert "playdoh-4w" in capsys.readouterr().out
+
+    def test_json_mode_emits_canonical_specs(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["playdoh-4w"] == PLAYDOH_4W_SPEC.canonical()
+
+
+class TestShow:
+    def test_show_registry_name(self, capsys):
+        assert main(["show", "playdoh-4w"]) == 0
+        out = capsys.readouterr().out
+        assert "playdoh-4w" in out and "4-wide" in out
+
+    def test_show_json_carries_fingerprint(self, capsys):
+        assert main(["show", "playdoh-8w", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fingerprint"] == spec_by_name("playdoh-8w").fingerprint()
+        assert payload["machine"] == spec_by_name("playdoh-8w").canonical()
+
+    def test_show_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(
+            PLAYDOH_4W_SPEC.override(name="filed").to_json(), encoding="utf-8"
+        )
+        assert main(["show", str(path)]) == 0
+        assert "filed" in capsys.readouterr().out
+
+    def test_unknown_machine_is_a_clean_error(self, capsys):
+        assert main(["show", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err and "playdoh-4w" in err
+
+
+class TestDigest:
+    def test_digest_defaults_to_whole_registry(self, capsys):
+        assert main(["digest"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == len(registry_names())
+        for line in lines:
+            name, fingerprint = line.split()
+            assert fingerprint == spec_by_name(name).fingerprint()
+
+    def test_digest_named(self, capsys):
+        assert main(["digest", "playdoh-4w"]) == 0
+        out = capsys.readouterr().out
+        assert out.split() == [
+            "playdoh-4w",
+            spec_by_name("playdoh-4w").fingerprint(),
+        ]
+
+
+class TestDiff:
+    def test_identical_machines_exit_zero(self, capsys):
+        assert main(["diff", "playdoh-4w", "playdoh-4w"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_machines_exit_one_and_name_fields(self, capsys):
+        assert main(["diff", "playdoh-4w", "playdoh-8w"]) == 1
+        out = capsys.readouterr().out
+        assert "issue_width" in out
+        assert "4 -> 8" in out
+        # Latencies agree between the two, so they are not in the diff.
+        assert "latencies" not in out
+
+    def test_diff_against_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(
+            PLAYDOH_4W_SPEC.override(ccb_capacity=8).to_json(), encoding="utf-8"
+        )
+        assert main(["diff", "playdoh-4w", str(path)]) == 1
+        assert "ccb_capacity" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Job keys must separate machines by content, not by Python identity."""
+
+from __future__ import annotations
+
+from repro.machine.configs import PLAYDOH_4W, PLAYDOH_4W_SPEC
+from repro.machine.spec import MachineSpec
+from repro.runner.jobs import compile_job, simulate_job
+
+
+class TestMachineJobKeys:
+    def test_equal_machines_share_keys(self):
+        rebuilt = MachineSpec.from_description(PLAYDOH_4W).build()
+        assert rebuilt is not PLAYDOH_4W
+        assert (
+            simulate_job("li", rebuilt, scale=0.5).key()
+            == simulate_job("li", PLAYDOH_4W, scale=0.5).key()
+        )
+
+    def test_each_machine_axis_moves_the_key(self):
+        base_key = simulate_job("li", PLAYDOH_4W, scale=0.5).key()
+        variants = [
+            PLAYDOH_4W_SPEC.override(issue_width=5),
+            PLAYDOH_4W_SPEC.with_units(mem=2),
+            PLAYDOH_4W_SPEC.override(ccb_capacity=8),
+            PLAYDOH_4W_SPEC.override(ovb_capacity=8),
+            PLAYDOH_4W_SPEC.override(sync_width=32),
+            PLAYDOH_4W_SPEC.override(branch_penalty=3),
+        ]
+        keys = {
+            simulate_job("li", spec.build(), scale=0.5).key()
+            for spec in variants
+        }
+        assert len(keys) == len(variants)
+        assert base_key not in keys
+
+    def test_predictor_geometry_moves_the_key(self):
+        from repro.machine.predictor import PredictorSpec
+
+        bounded = PLAYDOH_4W_SPEC.override(
+            predictor=PredictorSpec(table_entries=256)
+        ).build()
+        assert (
+            compile_job("li", bounded, scale=0.5).key()
+            != compile_job("li", PLAYDOH_4W, scale=0.5).key()
+        )
+
+    def test_rename_alone_moves_the_key(self):
+        # machine_name lands in simulation results, so a renamed machine
+        # must not alias the original's cache entries.
+        renamed = PLAYDOH_4W_SPEC.override(name="other").build()
+        assert (
+            simulate_job("li", renamed, scale=0.5).key()
+            != simulate_job("li", PLAYDOH_4W, scale=0.5).key()
+        )

@@ -309,14 +309,21 @@ class TestCorrelationPropagation:
         client = ServiceClient(loopback.url)
         with log_context(sweep_id="corr-test-123"):
             client.health()
-        records = [
-            json.loads(line) for line in stream.getvalue().splitlines()
-        ]
-        request_logs = [
-            r
-            for r in records
-            if r["msg"] == "request" and r.get("route") == "healthz"
-        ]
+        # The broker thread logs the request after sending the response,
+        # so the line can land fractionally after health() returns.
+        request_logs = []
+        deadline = time.time() + 5.0
+        while not request_logs and time.time() < deadline:
+            records = [
+                json.loads(line) for line in stream.getvalue().splitlines()
+            ]
+            request_logs = [
+                r
+                for r in records
+                if r["msg"] == "request" and r.get("route") == "healthz"
+            ]
+            if not request_logs:
+                time.sleep(0.02)
         assert request_logs, f"no request log captured: {records}"
         assert request_logs[-1]["sweep_id"] == "corr-test-123"
 

@@ -63,6 +63,59 @@ class TestPackJob:
             unpack_job(packed)
 
 
+class TestMachineTable:
+    """Wire v2: machines travel as canonical spec JSON, never as pickle."""
+
+    def test_blob_carries_no_pickled_machine(self):
+        from repro.service.wire import _MachineRef
+
+        packed = pack_job(simulate_job("li", PLAYDOH_4W, scale=0.5))
+        blob = base64.b64decode(packed["blob"])
+        assert b"MachineDescription" not in blob
+        stripped = pickle.loads(blob)
+        assert isinstance(stripped.spec.machine, _MachineRef)
+        for dep in stripped.deps:
+            assert dep.machine is None or isinstance(dep.machine, _MachineRef)
+
+    def test_machines_table_is_canonical_spec_json(self):
+        import json
+
+        from repro.machine.spec import MachineSpec
+
+        packed = pack_job(simulate_job("li", PLAYDOH_4W, scale=0.5))
+        spec = MachineSpec.from_description(PLAYDOH_4W)
+        assert packed["machines"] == {spec.fingerprint(): spec.canonical()}
+        json.dumps(packed["machines"])  # JSON-safe, no pickle inside
+
+    def test_roundtrip_rebuilds_byte_identical_machine(self):
+        job = simulate_job("li", PLAYDOH_4W, scale=0.5)
+        restored = unpack_job(pack_job(job))
+        assert pickle.dumps(restored.spec.machine) == pickle.dumps(PLAYDOH_4W)
+
+    def test_tampered_machine_spec_raises(self):
+        packed = pack_job(simulate_job("li", PLAYDOH_4W, scale=0.5))
+        fingerprint = next(iter(packed["machines"]))
+        packed["machines"][fingerprint]["issue_width"] = 64
+        with pytest.raises(WireError, match="tampered or corrupted"):
+            unpack_job(packed)
+
+    def test_invalid_machine_spec_raises(self):
+        packed = pack_job(simulate_job("li", PLAYDOH_4W, scale=0.5))
+        fingerprint = next(iter(packed["machines"]))
+        packed["machines"][fingerprint]["issue_width"] = 0
+        with pytest.raises(WireError, match="invalid machine spec"):
+            unpack_job(packed)
+
+    def test_missing_machine_table_raises(self):
+        packed = pack_job(simulate_job("li", PLAYDOH_4W, scale=0.5))
+        packed["machines"] = {}
+        with pytest.raises(WireError, match="missing from the payload"):
+            unpack_job(packed)
+
+    def test_jobs_without_machines_have_empty_tables(self):
+        assert pack_job(_job(n=1))["machines"] == {}
+
+
 class TestPackGraph:
     def test_roundtrip(self):
         jobs = [_job(n=1), _job(n=2), _job(n=3)]
