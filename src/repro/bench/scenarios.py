@@ -228,6 +228,35 @@ def _run_ablation(ctx: BenchContext, state: Any) -> ScenarioRun:
     return ScenarioRun(counters=counters)
 
 
+def _run_cycle_accounting(ctx: BenchContext, state: Any) -> ScenarioRun:
+    """The full pipeline with cycle accounting *on*: simulate
+    :data:`ABLATION_BENCHMARKS` on the 4-wide machine collecting CPI
+    stacks, so the attribution overhead (ledger charges, schedule
+    re-attribution, per-pattern compensation simulations) is timed as
+    its own scenario and the ``table2``/``perf-smoke`` numbers stay a
+    clean disabled-path reference."""
+    settings = EvaluationSettings(scale=ctx.workload_scale)
+    settings = settings.with_threshold(ctx.threshold)
+    settings = settings.with_benchmarks(list(ABLATION_BENCHMARKS))
+    evaluation = Evaluation(settings, collect_metrics=True, collect_cycles=True)
+    for name in evaluation.benchmarks:
+        evaluation.simulation(name, evaluation.machine_4w)
+    counters = engine_counters(evaluation)
+    attributed = 0
+    per_cause: Dict[str, int] = {}
+    for result in evaluation.simulation_results:
+        for stack in (result.cycle_stacks or {}).values():
+            for cause, cycles in stack.items():
+                attributed += cycles
+                per_cause[cause] = per_cause.get(cause, 0) + cycles
+    counters["attributed_cycles"] = float(attributed)
+    return ScenarioRun(
+        counters=counters,
+        extra={"cause_totals": dict(sorted(per_cause.items()))},
+        metrics=evaluation.metrics_snapshot(),
+    )
+
+
 def _run_runner_scaling(ctx: BenchContext, state: Any) -> ScenarioRun:
     """One cold + one warm runner pass over the table2 job graph against
     a fresh disk cache; derives the warm-pass cache hit rate."""
@@ -420,6 +449,16 @@ register_scenario(
         f"{ABLATION_BENCHMARKS}: full pipeline + simulate per point",
         subsystems=("core", "compiler", "profiling"),
         run=_run_ablation,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="cycle_accounting",
+        description=f"Full pipeline over {ABLATION_BENCHMARKS} (4-wide) "
+        "with CPI-stack collection enabled: times the cycle-attribution "
+        "overhead against the disabled-path scenarios",
+        subsystems=("obs", "core", "compiler"),
+        run=_run_cycle_accounting,
     )
 )
 register_scenario(

@@ -39,6 +39,10 @@ class CCEngineStats:
     exec_completions: List[int] = field(default_factory=list)
     #: (slot cycle, "flush"|"execute", op id, completion cycle)
     events: List[Tuple[int, str, int, int]] = field(default_factory=list)
+    #: Cycle each processed entry's CCB slot freed (monotone ascending,
+    #: one entry per flush/execute); the VLIW engine reads this to model
+    #: issue stalls against a bounded CCB.
+    free_times: List[int] = field(default_factory=list)
 
 
 class CompensationEngine:
@@ -105,7 +109,8 @@ class CompensationEngine:
                 self.ovb.resolve_speculated_correct(entry.op_id, decide_time)
             # The check op already cleared the bit at decide_time; the
             # call is idempotent and keeps the earliest clear time.
-            self.sync.clear_bit(entry.sync_bit, decide_time)
+            self.sync.clear_bit(entry.sync_bit, decide_time, source="flush")
+            self.stats.free_times.append(start + 1)
             self.stats.events.append((start, "flush", entry.op_id, start + 1))
             if self._trace is not None:
                 self._trace.emit(
@@ -134,7 +139,8 @@ class CompensationEngine:
         )
         self.stats.exec_completions.append(completion)
         self.ovb.record_recomputed(entry.op_id, completion)
-        self.sync.clear_bit(entry.sync_bit, completion)
+        self.sync.clear_bit(entry.sync_bit, completion, source="execute")
+        self.stats.free_times.append(start + 1)
         self.stats.events.append((start, "execute", entry.op_id, completion))
         if self._trace is not None:
             self._trace.emit(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs.cycles import CycleLedger, NULL_CYCLES
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.trace import TraceEvent, TraceSink
 from repro.core.cc_engine import CCEngineStats, CompensationEngine
@@ -46,6 +47,12 @@ class BlockRun:
     #: (slot cycle, "flush"|"execute", op id, completion) CCE activity;
     #: populated when collect_trace is set.
     cc_events: Tuple[Tuple[int, str, int, int], ...] = ()
+    #: Per-cause cycle attribution, sorted by cause; populated when
+    #: collect_cycles is set.  Sums exactly to ``effective_length``.
+    cycle_stack: Tuple[Tuple[str, int], ...] = ()
+    #: (cycle, cause, cycles) charge events for Perfetto counter tracks;
+    #: populated when both collect_cycles and collect_trace are set.
+    cycle_events: Tuple[Tuple[int, str, int], ...] = ()
 
     @property
     def all_correct(self) -> bool:
@@ -69,6 +76,7 @@ def simulate_block(
     collect_trace: bool = False,
     ccb_capacity: Optional[int] = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    collect_cycles: bool = False,
 ) -> BlockRun:
     """Simulate one dynamic instance of a speculative block.
 
@@ -84,6 +92,10 @@ def simulate_block(
             (``vliw.stall_cycles``, ``cce.flush``, ``cce.reexec``,
             ``ovb.state_transitions{...}``, ...); the default disabled
             registry costs one branch per site.
+        collect_cycles: attribute every cycle of the run to one cause
+            (see :mod:`repro.obs.cycles`) into ``BlockRun.cycle_stack``;
+            debug runs assert the stack sums to ``effective_length``.
+            Timing results are identical either way.
 
     The OVB capacity and Synchronization-register width are read from the
     machine description (``MachineSpec.ovb_capacity`` / ``sync_width``);
@@ -111,6 +123,11 @@ def simulate_block(
         trace=sink,
         metrics=metrics,
     )
+    ledger = (
+        CycleLedger(record_events=collect_trace)
+        if collect_cycles
+        else NULL_CYCLES
+    )
     vliw = VLIWEngineSim(
         spec_schedule,
         outcomes,
@@ -119,6 +136,7 @@ def simulate_block(
         cc=cc,
         trace=sink,
         metrics=metrics,
+        cycles=ledger,
     )
 
     stats: VLIWRunStats = vliw.run()
@@ -133,6 +151,13 @@ def simulate_block(
     # bit.  That tail overlaps the next block and is reported as
     # ``cc_tail`` rather than charged to this block's length.
     effective = stats.completion
+    if collect_cycles:
+        # The hard cycle-accounting invariant: every cycle of the block
+        # is attributed to exactly one cause.
+        assert ledger.total() == effective, (
+            f"block {spec_schedule.label!r}: cycle stack sums to "
+            f"{ledger.total()}, simulated {effective} cycles"
+        )
     return BlockRun(
         label=spec_schedule.label,
         effective_length=effective,
@@ -148,6 +173,10 @@ def simulate_block(
             tuple(sorted(stats.issue_times.items())) if collect_trace else ()
         ),
         cc_events=tuple(cc_stats.events) if collect_trace else (),
+        cycle_stack=(
+            tuple(sorted(ledger.counts.items())) if collect_cycles else ()
+        ),
+        cycle_events=tuple(ledger.events),
     )
 
 

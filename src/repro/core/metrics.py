@@ -66,6 +66,9 @@ class BlockCompilation:
     _metrics_cache: Dict[Tuple[bool, ...], MetricsSnapshot] = field(
         default_factory=dict
     )
+    _cycles_cache: Dict[Tuple[bool, ...], Dict[str, int]] = field(
+        default_factory=dict
+    )
 
     def __getstate__(self) -> Dict:
         # The pattern caches are pure memos of simulate_block results;
@@ -76,6 +79,7 @@ class BlockCompilation:
         state = self.__dict__.copy()
         state["_pattern_cache"] = {}
         state["_metrics_cache"] = {}
+        state["_cycles_cache"] = {}
         return state
 
     @property
@@ -140,6 +144,35 @@ class BlockCompilation:
             )
             cached = registry.snapshot()
             self._metrics_cache[pattern] = cached
+            self._pattern_cache.setdefault(pattern, run)
+        return cached
+
+    def cycles_for(self, pattern: Tuple[bool, ...]) -> Dict[str, int]:
+        """Per-cause cycle stack for one correctness pattern (memoised).
+
+        Like :meth:`metrics_for`, attribution is collected lazily per
+        distinct pattern; the stack sums to the pattern's
+        ``effective_length``.
+        """
+        if self.spec_schedule is None:
+            raise RuntimeError(f"block {self.label!r} was not speculated")
+        # setdefault keeps compilations unpickled from caches written by
+        # older code (whose __dict__ lacks this memo) working.
+        cache = self.__dict__.setdefault("_cycles_cache", {})
+        cached = cache.get(pattern)
+        if cached is None:
+            ldpreds = self.spec_schedule.spec.ldpred_ids
+            if len(pattern) != len(ldpreds):
+                raise ValueError(
+                    f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
+                )
+            run = simulate_block(
+                self.spec_schedule,
+                dict(zip(ldpreds, pattern)),
+                collect_cycles=True,
+            )
+            cached = dict(run.cycle_stack)
+            cache[pattern] = cached
             self._pattern_cache.setdefault(pattern, run)
         return cached
 

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional
 
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
-from repro.obs.trace import OvbTransitionEvent, TraceSink
+from repro.obs.trace import BufferStallEvent, OvbTransitionEvent, TraceSink
 
 
 class OperandKind(enum.Enum):
@@ -108,12 +108,18 @@ class OperandValueBuffer:
         self._trace = trace
         self._metrics = metrics
 
-    def _admit(self, producer_id: int) -> None:
+    def _admit(self, producer_id: int, time: int) -> None:
         if (
             self.capacity is not None
             and producer_id not in self._records
             and len(self._records) >= self.capacity
         ):
+            if self._trace is not None:
+                self._trace.emit(
+                    BufferStallEvent(
+                        cycle=time, buffer="ovb", op_id=producer_id, stall=0
+                    )
+                )
             raise OVBFull(
                 f"OVB capacity {self.capacity} exceeded inserting op "
                 f"{producer_id}; bound speculation or enlarge ovb_capacity"
@@ -129,7 +135,7 @@ class OperandValueBuffer:
     # -- insertion (VLIW engine side) ------------------------------------
 
     def record_predicted(self, ldpred_id: int, available_at: int) -> ValueRecord:
-        self._admit(ldpred_id)
+        self._admit(ldpred_id, available_at)
         record = ValueRecord(
             producer_id=ldpred_id,
             kind=OperandKind.PREDICTED,
@@ -148,7 +154,7 @@ class OperandValueBuffer:
     def record_speculated(
         self, op_id: int, available_at: int, origins: FrozenSet[int]
     ) -> ValueRecord:
-        self._admit(op_id)
+        self._admit(op_id, available_at)
         record = ValueRecord(
             producer_id=op_id,
             kind=OperandKind.SPECULATED,

@@ -26,11 +26,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.ir.block import BasicBlock
 from repro.ir.operation import Operation
+from repro.obs.cycles import attribute_schedule
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, NULL_METRICS
+from repro.sched.list_scheduler import ListScheduler
 from repro.predict.base import ValuePredictor, _values_equal
 from repro.predict.confidence import ConfidenceEstimator
 from repro.predict.hybrid import default_hybrid
@@ -89,6 +91,12 @@ class ProgramSimResult:
     #: Aggregated observability snapshot; populated only when
     #: ``simulate_program`` ran with ``collect_metrics=True``.
     metrics: Optional[MetricsSnapshot] = None
+    #: Per-machine CPI stacks (``"nopred"``/``"proposed"``/``"baseline"``
+    #: -> cause -> cycles, causes from :data:`repro.obs.cycles.CAUSES`);
+    #: populated only when ``simulate_program`` ran with
+    #: ``collect_cycles=True``.  Each stack sums exactly to the matching
+    #: ``cycles_*`` total — asserted at the end of the run.
+    cycle_stacks: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def speedup_proposed(self) -> float:
@@ -148,6 +156,7 @@ class _SimulationObserver:
         table: Optional[ValuePredictionTable] = None,
         confidence: Optional[ConfidenceEstimator] = None,
         metrics: MetricsRegistry = NULL_METRICS,
+        collect_cycles: bool = False,
     ):
         self.compilation = compilation
         self.predictor = predictor
@@ -156,6 +165,16 @@ class _SimulationObserver:
         self.table = table
         self.confidence = confidence
         self.metrics = metrics
+        self.collect_cycles = collect_cycles
+        # Per-machine cause -> cycles accumulators, plus per-label memos
+        # of the static schedule attributions charged once per instance.
+        self.cycle_stacks: Dict[str, Dict[str, int]] = {
+            "nopred": {},
+            "proposed": {},
+            "baseline": {},
+        }
+        self._original_attr: Dict[str, Dict[str, int]] = {}
+        self._baseline_attr: Dict[str, Dict[str, int]] = {}
         self._predictor_label = (
             f"table:{predictor.name}" if table is not None else predictor.name
         )
@@ -245,6 +264,47 @@ class _SimulationObserver:
         self._finish_instance()
         self._current = None
 
+    # -- cycle accounting --------------------------------------------------
+
+    def _charge(self, model: str, counts: Mapping[str, int]) -> None:
+        stack = self.cycle_stacks[model]
+        for cause, cycles in counts.items():
+            stack[cause] = stack.get(cause, 0) + cycles
+
+    def _charge_cause(self, model: str, cause: str, cycles: int) -> None:
+        if self.collect_cycles and cycles:
+            stack = self.cycle_stacks[model]
+            stack[cause] = stack.get(cause, 0) + cycles
+
+    def _original_attribution(self, comp: BlockCompilation) -> Dict[str, int]:
+        """Static per-cause attribution of the block's original schedule.
+
+        The compiler records only the original schedule *length*; list
+        scheduling is deterministic, so rebuilding the schedule here
+        reproduces it exactly (asserted against the recorded length).
+        """
+        cached = self._original_attr.get(comp.label)
+        if cached is None:
+            schedule = ListScheduler(self.machine).schedule_block(
+                self.compilation.program.main.block(comp.label)
+            )
+            assert schedule.length == comp.original_length, (
+                f"block {comp.label!r}: rebuilt original schedule is "
+                f"{schedule.length} cycles, compiler recorded {comp.original_length}"
+            )
+            cached = attribute_schedule(schedule)
+            self._original_attr[comp.label] = cached
+        return cached
+
+    def _baseline_attribution(self, comp: BlockCompilation) -> Dict[str, int]:
+        """Static attribution of the baseline machine's main schedule."""
+        cached = self._baseline_attr.get(comp.label)
+        if cached is None:
+            cached = attribute_schedule(comp.baseline.schedule.schedule)
+            assert sum(cached.values()) == comp.baseline.main_length
+            self._baseline_attr[comp.label] = cached
+        return cached
+
     # -- accounting -------------------------------------------------------
 
     def _finish_instance(self) -> None:
@@ -260,6 +320,11 @@ class _SimulationObserver:
             res.cycles_baseline += comp.original_length
             res.cycles_squash += comp.original_length
             self._account_class(OutcomeClass.NOT_SPECULATED, comp.original_length, comp)
+            if self.collect_cycles:
+                counts = self._original_attribution(comp)
+                self._charge("nopred", counts)
+                self._charge("proposed", counts)
+                self._charge("baseline", counts)
             if self.model_icache:
                 penalty = self.layout.fetch(self.cache_proposed, f"main:{comp.label}")
                 res.proposed_icache_cycles += penalty
@@ -269,9 +334,12 @@ class _SimulationObserver:
                 # penalty keeps the speedup comparisons apples-to-apples.
                 res.cycles_nopred += penalty
                 res.cycles_squash += penalty
+                self._charge_cause("proposed", "icache_miss", penalty)
+                self._charge_cause("nopred", "icache_miss", penalty)
                 penalty = self.layout.fetch(self.cache_baseline, f"main:{comp.label}")
                 res.baseline_icache_cycles += penalty
                 res.cycles_baseline += penalty
+                self._charge_cause("baseline", "icache_miss", penalty)
             return
 
         if self._gated:
@@ -285,14 +353,22 @@ class _SimulationObserver:
             self._account_class(
                 OutcomeClass.NOT_SPECULATED, comp.original_length, comp
             )
+            if self.collect_cycles:
+                counts = self._original_attribution(comp)
+                self._charge("nopred", counts)
+                self._charge("proposed", counts)
+                self._charge("baseline", counts)
             if self.model_icache:
                 penalty = self.layout.fetch(self.cache_proposed, f"main:{comp.label}")
                 res.proposed_icache_cycles += penalty
                 res.cycles_proposed += penalty
                 res.cycles_nopred += penalty
+                self._charge_cause("proposed", "icache_miss", penalty)
+                self._charge_cause("nopred", "icache_miss", penalty)
                 penalty = self.layout.fetch(self.cache_baseline, f"main:{comp.label}")
                 res.baseline_icache_cycles += penalty
                 res.cycles_baseline += penalty
+                self._charge_cause("baseline", "icache_miss", penalty)
             return
 
         pattern = tuple(
@@ -310,6 +386,9 @@ class _SimulationObserver:
         res.stall_cycles += run.stall_cycles
         res.cc_executed += run.executed
         res.cc_flushed += run.flushed
+        if self.collect_cycles:
+            self._charge("nopred", self._original_attribution(comp))
+            self._charge("proposed", comp.cycles_for(pattern))
         outcome = classify_outcome(run.predictions, run.mispredictions)
         self._account_class(outcome, run.effective_length, comp)
         res.length_delta_histogram[comp.original_length - run.effective_length] += 1
@@ -326,6 +405,19 @@ class _SimulationObserver:
         res.baseline_compensation_cycles += baseline_run.compensation_cycles
         res.baseline_branch_cycles += baseline_run.branch_cycles
         res.baseline_icache_cycles += baseline_run.icache_cycles
+        if self.collect_cycles:
+            # Main speculative schedule plus the three serial overheads;
+            # their sum is exactly baseline_run.effective_length.
+            self._charge("baseline", self._baseline_attribution(comp))
+            self._charge_cause(
+                "baseline", "reexec", baseline_run.compensation_cycles
+            )
+            self._charge_cause(
+                "baseline", "branch_penalty", baseline_run.branch_cycles
+            )
+            self._charge_cause(
+                "baseline", "icache_miss", baseline_run.icache_cycles
+            )
 
         squash_run = simulate_squash_block(
             comp.spec_schedule, dict(zip(ldpreds, pattern)), self.machine
@@ -342,6 +434,8 @@ class _SimulationObserver:
             # refetches on restart, which this approximation folds into
             # the same penalty).
             res.cycles_squash += penalty
+            self._charge_cause("proposed", "icache_miss", penalty)
+            self._charge_cause("nopred", "icache_miss", penalty)
 
     def _account_class(
         self, outcome: OutcomeClass, cycles: int, comp: BlockCompilation
@@ -363,6 +457,7 @@ def simulate_program(
     table_capacity: Optional[int] = None,
     confidence: Optional[ConfidenceEstimator] = None,
     collect_metrics: bool = False,
+    collect_cycles: bool = False,
     trace=None,
 ) -> ProgramSimResult:
     """Execute the program once, timing all three machines.
@@ -388,6 +483,11 @@ def simulate_program(
         collect_metrics: aggregate an observability snapshot (predictor
             hit/miss counters, merged per-block dual-engine metrics,
             icache counters) into ``result.metrics``.  Off by default;
+            timing results are identical either way.
+        collect_cycles: attribute every cycle of all three machines to
+            one cause (see :mod:`repro.obs.cycles`) into
+            ``result.cycle_stacks``; each stack is asserted to sum
+            exactly to the matching ``cycles_*`` total.  Off by default;
             timing results are identical either way.
         trace: a :class:`~repro.trace.ValueTrace` captured from this
             compilation's program.  When given, the simulation observer
@@ -429,6 +529,7 @@ def simulate_program(
         table=table,
         confidence=confidence,
         metrics=registry,
+        collect_cycles=collect_cycles,
     )
     if trace is not None:
         from repro.trace.format import TRACED_OPCODES, TraceMismatch
@@ -466,7 +567,32 @@ def simulate_program(
     observer.finish()
     if table is not None:
         result.table_tag_misses = table.tag_misses
+    if collect_cycles:
+        totals = {
+            "nopred": result.cycles_nopred,
+            "proposed": result.cycles_proposed,
+            "baseline": result.cycles_baseline,
+        }
+        for model, stack in observer.cycle_stacks.items():
+            # The hard program-level invariant: every simulated cycle of
+            # every machine is attributed to exactly one cause.
+            attributed = sum(stack.values())
+            assert attributed == totals[model], (
+                f"{result.program_name} on {result.machine_name}: "
+                f"{model} cycle stack sums to {attributed}, "
+                f"simulated {totals[model]} cycles"
+            )
+        result.cycle_stacks = {
+            model: dict(sorted(stack.items()))
+            for model, stack in observer.cycle_stacks.items()
+        }
     if registry.enabled:
+        if result.cycle_stacks:
+            for model, stack in result.cycle_stacks.items():
+                for cause, cycles in stack.items():
+                    registry.inc(
+                        "sim.cycles", cycles, label=f"cause={cause},model={model}"
+                    )
         registry.inc("sim.dynamic_blocks", result.dynamic_blocks)
         registry.inc("sim.gated_instances", result.gated_instances)
         if model_icache:

@@ -72,6 +72,7 @@ class SyncRegisterState:
         self.width = width
         self._set_at: Dict[int, int] = {}
         self._cleared_at: Dict[int, int] = {}
+        self._cleared_by: Dict[int, Optional[str]] = {}
         self._trace = trace
         self._metrics = metrics
 
@@ -79,17 +80,25 @@ class SyncRegisterState:
         self._check(bit)
         self._set_at[bit] = time
         self._cleared_at.pop(bit, None)
+        self._cleared_by.pop(bit, None)
         self._metrics.inc("sync.sets")
         if self._trace is not None:
             self._trace.emit(SyncSetEvent(cycle=time, bit=bit))
 
-    def clear_bit(self, bit: int, time: int) -> None:
+    def clear_bit(
+        self, bit: int, time: int, source: Optional[str] = None
+    ) -> None:
         """Record the bit clearing; idempotent, keeping the earliest time.
 
         A clear can be *decided* before the bit was even set (a check can
         complete before a slow-to-issue speculated op sets its bit); the
         effective clear time is clamped to the set time, since a bit is
         never observed set-then-clear earlier than it was set.
+
+        ``source`` names who cleared the bit (``"check"``, ``"flush"``,
+        ``"execute"``); cycle accounting reads it back via
+        :meth:`clear_source` to attribute stalls on this bit.  Only the
+        winning (earliest) clear's source is kept.
         """
         self._check(bit)
         if bit not in self._set_at:
@@ -99,6 +108,7 @@ class SyncRegisterState:
         if prior is not None and prior <= time:
             return
         self._cleared_at[bit] = time
+        self._cleared_by[bit] = source
         self._metrics.inc("sync.clears")
         if self._trace is not None:
             self._trace.emit(SyncClearEvent(cycle=time, bit=bit))
@@ -109,6 +119,11 @@ class SyncRegisterState:
         if bit not in self._set_at:
             return 0  # never predicted: trivially clear from the start
         return self._cleared_at.get(bit)
+
+    def clear_source(self, bit: int) -> Optional[str]:
+        """Who cleared the bit (``None`` if pending or never predicted)."""
+        self._check(bit)
+        return self._cleared_by.get(bit)
 
     def wait_until_clear(self, bits: Iterable[int]) -> Optional[int]:
         """Earliest time every bit in ``bits`` is clear (None if pending)."""

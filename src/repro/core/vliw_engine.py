@@ -28,9 +28,19 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional
 
 from repro.machine.description import MachineDescription
+from repro.obs.cycles import (
+    BIND_RANK,
+    SYNC_CLEAR_CAUSES,
+    SYNC_SOURCE_RANK,
+    CycleLedger,
+    NULL_CYCLES,
+    instruction_cause,
+    operation_wait_cause,
+)
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.trace import (
     BitClearEvent,
+    BufferStallEvent,
     CheckEvent,
     LdPredEvent,
     SpeculateEvent,
@@ -38,7 +48,7 @@ from repro.obs.trace import (
     TraceSink,
 )
 from repro.core.cc_engine import CompensationEngine, SimulationDeadlock
-from repro.core.ccb import CCBEntry
+from repro.core.ccb import CCBEntry, CCBFull
 from repro.core.isa_ext import OpForm
 from repro.core.ovb import OperandState, OperandValueBuffer
 from repro.core.specsched import SpeculativeSchedule
@@ -69,6 +79,7 @@ class VLIWEngineSim:
         cc: CompensationEngine,
         trace: Optional[TraceSink] = None,
         metrics: MetricsRegistry = NULL_METRICS,
+        cycles: CycleLedger = NULL_CYCLES,
     ):
         self.spec_schedule = spec_schedule
         self.machine: MachineDescription = spec_schedule.schedule.machine
@@ -78,6 +89,7 @@ class VLIWEngineSim:
         self.cc = cc
         self._trace = trace
         self._metrics = metrics
+        self._cycles = cycles
 
         missing = set(spec_schedule.spec.ldpred_ids) - set(self.outcomes)
         if missing:
@@ -95,6 +107,17 @@ class VLIWEngineSim:
         stats = VLIWRunStats()
         spec = self.spec_schedule.spec
         shift = 0
+        ledger = self._cycles
+        ccb_capacity = self.cc.buffer.capacity
+
+        # Cycle-accounting state (touched only when the ledger is live).
+        # Static gaps mirror obs.cycles.attribute_schedule; the dynamic
+        # completion tail is bound by the longest in-flight op at its
+        # *shifted* completion.
+        prev_static = -1
+        static_best = (-1, -1, "dep_stall")  # (completion, rank, cause)
+        last_issue = -1
+        tail_best = (-1, -1, "dep_stall")
 
         for instr in self.spec_schedule.schedule.instructions():
             tentative = instr.cycle + shift
@@ -111,27 +134,138 @@ class VLIWEngineSim:
                         f"{instr.cycle} stalls forever on bits {sorted(wait)}"
                     )
                 issue = max(tentative, clear)
-            stall = issue - tentative
-            if stall:
+            sync_stall = issue - tentative
+            if sync_stall:
                 self._metrics.inc("vliw.stalls")
-                self._metrics.inc("vliw.stall_cycles", stall)
+                self._metrics.inc("vliw.stall_cycles", sync_stall)
                 if self._trace is not None:
                     self._trace.emit(
                         StallEvent(
-                            cycle=issue, bits=tuple(sorted(wait)), stall=stall
+                            cycle=issue, bits=tuple(sorted(wait)), stall=sync_stall
                         )
                     )
+            ccb_stall = 0
+            if ccb_capacity is not None:
+                issue = self._admit_ccb(instr, issue, ccb_capacity)
+                ccb_stall = issue - tentative - sync_stall
+            stall = sync_stall + ccb_stall
             stats.stall_cycles += stall
             shift += stall
             stats.instructions_issued += 1
             self._metrics.inc("vliw.instructions")
 
+            if ledger.enabled:
+                static_gap = instr.cycle - prev_static - 1
+                if static_gap > 0:
+                    in_flight = static_best[0] > prev_static + 1
+                    ledger.charge(
+                        static_best[2] if in_flight else "dep_stall",
+                        static_gap,
+                        at=issue,
+                    )
+                if sync_stall:
+                    ledger.charge(
+                        self._sync_stall_cause(wait), sync_stall, at=issue
+                    )
+                if ccb_stall:
+                    ledger.charge("ccb_pressure", ccb_stall, at=issue)
+                ledger.charge(instruction_cause(instr), 1, at=issue)
+                prev_static = instr.cycle
+                last_issue = issue
+
             for slot in instr.slots:
                 self._issue_op(slot.operation, issue, slot.latency, stats)
                 stats.completion = max(stats.completion, issue + slot.latency)
                 stats.issue_times[slot.operation.op_id] = issue
+                if ledger.enabled:
+                    cause = operation_wait_cause(slot.operation.opcode)
+                    rank = BIND_RANK.get(cause, 0)
+                    static_best = max(
+                        static_best, (instr.cycle + slot.latency, rank, cause)
+                    )
+                    tail_best = max(tail_best, (issue + slot.latency, rank, cause))
 
+        if ledger.enabled and stats.instructions_issued:
+            # Completion tail: cycles after the last issue while the
+            # longest in-flight operation drains.
+            ledger.charge(
+                tail_best[2],
+                stats.completion - last_issue - 1,
+                at=stats.completion,
+            )
         return stats
+
+    def _sync_stall_cause(self, wait) -> str:
+        """Cause of a sync-bit stall: who cleared the *binding* bit.
+
+        The binding bit is the one with the latest clear time (ties
+        broken by clear source, ``execute`` > ``flush`` > ``check``):
+        execute-cleared bits mean the stall waited on CC-engine
+        re-execution (``reexec``), flush-cleared on recovery drain
+        (``flush_recovery``), check-cleared on plain verification
+        latency (``sync_stall``).
+        """
+        best = (-1, -1)
+        cause = "sync_stall"
+        for bit in wait:
+            time = self.sync.clear_time(bit)
+            if time is None:
+                continue
+            source = self.sync.clear_source(bit)
+            key = (time, SYNC_SOURCE_RANK.get(source, 0))
+            if key > best:
+                best = key
+                cause = SYNC_CLEAR_CAUSES.get(source, "sync_stall")
+        return cause
+
+    def _admit_ccb(self, instr, issue: int, capacity: int) -> int:
+        """Delay ``issue`` until a bounded CCB can take this instruction's
+        speculative ops; raise :class:`CCBFull` if no amount of waiting
+        can ever make room (structural overflow).
+
+        The timing model: an entry's slot frees when the Compensation
+        Code Engine processes it (``stats.free_times``, monotone), so
+        inserting the ``k``-th entry past capacity must wait for the
+        ``k``-th free.
+        """
+        spec = self.spec_schedule.spec
+        spec_ops = [
+            slot.operation.op_id
+            for slot in instr.slots
+            if spec.info[slot.operation.op_id].form is OpForm.SPECULATIVE
+        ]
+        if not spec_ops:
+            return issue
+        self.cc.process_available()
+        freed_needed = self.cc.buffer.total_inserted + len(spec_ops) - capacity
+        if freed_needed <= 0:
+            return issue
+        free_times = self.cc.stats.free_times
+        if freed_needed > len(free_times):
+            if self._trace is not None:
+                self._trace.emit(
+                    BufferStallEvent(
+                        cycle=issue, buffer="ccb", op_id=spec_ops[0], stall=0
+                    )
+                )
+            raise CCBFull(
+                f"block {spec.label!r}: CCB capacity {capacity} can never "
+                f"admit op {spec_ops[0]} (nothing left to free); bound "
+                "speculation or enlarge ccb_capacity"
+            )
+        ready = free_times[freed_needed - 1]
+        if ready <= issue:
+            return issue
+        stall = ready - issue
+        self._metrics.inc("vliw.ccb_stalls")
+        self._metrics.inc("vliw.ccb_stall_cycles", stall)
+        if self._trace is not None:
+            self._trace.emit(
+                BufferStallEvent(
+                    cycle=ready, buffer="ccb", op_id=spec_ops[0], stall=stall
+                )
+            )
+        return ready
 
     # -- per-operation behaviour ----------------------------------------------
 
@@ -179,7 +313,7 @@ class VLIWEngineSim:
         ldpred_bit = spec.info[ldpred_id].sync_bit
         # The LdPred bit clears either way: the check computed the true
         # value and (on mismatch) updated the register file with it.
-        self.sync.clear_bit(ldpred_bit, completion)
+        self.sync.clear_bit(ldpred_bit, completion, source="check")
         self.ovb.apply_check(ldpred_id, completion, correct)
         if self._trace is not None:
             self._trace.emit(
@@ -206,7 +340,9 @@ class VLIWEngineSim:
             if all(r.state is OperandState.C for r in origin_records):
                 settle = max(r.resolved_at for r in origin_records)
                 self.ovb.resolve_speculated_correct(spec_id, settle)
-                self.sync.clear_bit(spec.info[spec_id].sync_bit, settle)
+                self.sync.clear_bit(
+                    spec.info[spec_id].sync_bit, settle, source="check"
+                )
                 if self._trace is not None:
                     self._trace.emit(
                         BitClearEvent(

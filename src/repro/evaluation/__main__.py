@@ -178,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-job progress lines to stderr",
     )
     parser.add_argument(
+        "--cpi",
+        action="store_true",
+        help=(
+            "collect cycle accounting during simulation and append a CPI-"
+            "stack section beside the tables (cause fractions per "
+            "benchmark/machine; see repro-cycles for the full reports)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit structured rows as JSON instead of rendered tables",
@@ -298,6 +307,36 @@ def _write_bench(
     print(f"bench artifact: {written}", file=sys.stderr)
 
 
+def _render_cpi(evaluation: Evaluation) -> str:
+    """CPI-stack columns for every cycle-accounted simulation so far."""
+    from repro.ir.printer import format_table
+    from repro.obs.cycles import CAUSES, CPIStack
+
+    body = []
+    for key, models in evaluation.cycle_stack_results().items():
+        proposed = CPIStack.of(models.get("proposed", {}))
+        breakdown = ", ".join(
+            f"{cause} {proposed.fraction(cause) * 100:.1f}%"
+            for cause in CAUSES
+            if proposed.get(cause)
+        )
+        body.append(
+            (
+                key,
+                str(proposed.total),
+                proposed.dominant() or "-",
+                breakdown,
+            )
+        )
+    table = format_table(
+        ["Simulation", "Proposed cycles", "Dominant", "CPI stack"], body
+    )
+    return (
+        "CPI stacks (--cpi): proposed-machine cycle attribution; 'dominant'\n"
+        "is the largest non-issue cause (see repro-cycles for diffs)\n" + table
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -330,6 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         settings,
         runner=runner,
         collect_metrics=args.metrics is not None or args.bench is not None,
+        collect_cycles=args.cpi,
     )
 
     names = args.experiments
@@ -355,9 +395,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     name: [dataclasses.asdict(row) for row in compute(evaluation)]
                     for name, compute in _COMPUTE.items()
                 }
+                if args.cpi:
+                    payload["cpi"] = evaluation.cycle_stack_results()
                 print(json.dumps(payload, indent=2, default=str))
             else:
                 print(full_report(evaluation))
+                if args.cpi:
+                    print()
+                    print(_render_cpi(evaluation))
             if args.bench is not None:
                 _write_bench(
                     args.bench,
@@ -378,6 +423,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(run_experiment(name, evaluation))
                 print()
+        if args.cpi:
+            if args.json:
+                print(json.dumps({"cpi": evaluation.cycle_stack_results()}, indent=2))
+            else:
+                print(_render_cpi(evaluation))
         if args.bench is not None:
             _write_bench(
                 args.bench,

@@ -26,6 +26,19 @@ from typing import List
 from repro.evaluation.experiment import Evaluation, arithmetic_mean
 from repro.ir.printer import format_table
 
+#: Cycle-stack causes counted as speculation overhead on the proposed
+#: machine (see :mod:`repro.obs.cycles`): verification issue slots plus
+#: every dynamic stall/recovery cause.  ``issue``/``load_wait``/
+#: ``dep_stall``/``icache_miss`` are work the no-prediction machine pays
+#: too, so they are not overhead.
+OVERHEAD_CAUSES = (
+    "check_compare",
+    "sync_stall",
+    "reexec",
+    "flush_recovery",
+    "ccb_pressure",
+)
+
 
 @dataclass(frozen=True)
 class BaselineRow:
@@ -34,7 +47,7 @@ class BaselineRow:
     cycles_proposed: int
     cycles_baseline: int
     cycles_squash: int
-    proposed_overhead_fraction: float   # stall cycles / total (proposed)
+    proposed_overhead_fraction: float   # attributed overhead / total (proposed)
     baseline_overhead_fraction: float   # recovery cycles / total (baseline)
     baseline_icache_cycles: int
     proposed_speedup: float
@@ -42,13 +55,36 @@ class BaselineRow:
     squash_speedup: float
 
 
+def _proposed_overhead(sim) -> float:
+    """Fraction of proposed-machine time attributed to speculation.
+
+    Semantic change from earlier revisions: this used to be
+    ``stall_cycles / cycles_proposed`` — only the sync-register stalls —
+    which under-reported the scheme's cost.  It now sums the *full*
+    attributed overhead from the cycle stack (:data:`OVERHEAD_CAUSES`:
+    check-compare issue cycles, sync stalls, re-execution and flush
+    recovery, CCB pressure) over total proposed cycles, which is
+    comparable to the baseline machine's recovery fraction.  Falls back
+    to the old stall-only ratio when the simulation carries no cycle
+    stacks.
+    """
+    if not sim.cycles_proposed:
+        return 0.0
+    stacks = getattr(sim, "cycle_stacks", None)
+    if stacks and "proposed" in stacks:
+        proposed = stacks["proposed"]
+        overhead = sum(proposed.get(cause, 0) for cause in OVERHEAD_CAUSES)
+        return overhead / sim.cycles_proposed
+    return sim.stall_cycles / sim.cycles_proposed
+
+
 def compute(evaluation: Evaluation) -> List[BaselineRow]:
     rows: List[BaselineRow] = []
     for name in evaluation.benchmarks:
-        sim = evaluation.simulation(name, evaluation.machine_4w, model_icache=True)
-        proposed_overhead = (
-            sim.stall_cycles / sim.cycles_proposed if sim.cycles_proposed else 0.0
+        sim = evaluation.simulation(
+            name, evaluation.machine_4w, model_icache=True, collect_cycles=True
         )
+        proposed_overhead = _proposed_overhead(sim)
         rows.append(
             BaselineRow(
                 benchmark=name,

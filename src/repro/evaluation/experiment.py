@@ -119,18 +119,21 @@ class EvaluationSettings:
 
 
 #: Pipeline products each experiment reads, as (stage, machine role,
-#: model_icache) triples.  ``warm`` uses this to pre-build the job graph;
-#: roles resolve through ``EvaluationSettings.machines``.
-EXPERIMENT_NEEDS: Dict[str, Tuple[Tuple[str, str, bool], ...]] = {
-    "table2": (("simulate", "base", False),),
-    "table3": (("compile", "base", False),),
+#: model_icache, collect_cycles) tuples.  ``warm`` uses this to pre-build
+#: the job graph; roles resolve through ``EvaluationSettings.machines``.
+#: The baseline comparison always simulates with cycle accounting: its
+#: overhead columns are defined in terms of the attributed stacks (see
+#: :mod:`repro.evaluation.baseline_cmp`).
+EXPERIMENT_NEEDS: Dict[str, Tuple[Tuple[str, str, bool, bool], ...]] = {
+    "table2": (("simulate", "base", False, False),),
+    "table3": (("compile", "base", False, False),),
     "table4": (
-        ("simulate", "base", False),
-        ("simulate", "wide", False),
+        ("simulate", "base", False, False),
+        ("simulate", "wide", False, False),
     ),
-    "figure8": (("compile", "base", False),),
-    "baseline": (("simulate", "base", True),),
-    "regions": (("compile", "base", False),),
+    "figure8": (("compile", "base", False, False),),
+    "baseline": (("simulate", "base", True, True),),
+    "regions": (("compile", "base", False, False),),
     "example": (),
 }
 
@@ -143,6 +146,7 @@ class Evaluation:
         settings: Optional[EvaluationSettings] = None,
         runner: Optional["Runner"] = None,
         collect_metrics: bool = False,
+        collect_cycles: bool = False,
         trace_store=None,
     ):
         self.settings = settings or EvaluationSettings()
@@ -152,6 +156,11 @@ class Evaluation:
         #: :meth:`metrics_snapshot`.  Off by default — simulate job keys
         #: and timing outputs are unchanged.
         self.collect_metrics = collect_metrics
+        #: When set, every simulate stage attributes each simulated cycle
+        #: to one cause (``ProgramSimResult.cycle_stacks``; see
+        #: :mod:`repro.obs.cycles`).  Off by default — simulate job keys
+        #: and timing outputs are unchanged.
+        self.collect_cycles = collect_cycles
         #: Trace cache for runner-less execution (the runner path caches
         #: traces as jobs instead).  ``None`` uses the process-wide
         #: default store, so *separate* Evaluation instances over the
@@ -163,7 +172,9 @@ class Evaluation:
         self._programs: Dict[str, Program] = {}
         self._profiles: Dict[str, ProfileData] = {}
         self._compilations: Dict[Tuple[str, str], ProgramCompilation] = {}
-        self._simulations: Dict[Tuple[str, str, bool], ProgramSimResult] = {}
+        self._simulations: Dict[
+            Tuple[str, str, bool, bool], ProgramSimResult
+        ] = {}
         # Non-standard-pipeline products, keyed by pipeline fingerprint.
         self._variant_programs: Dict[Tuple[str, str], Program] = {}
         self._variant_profiles: Dict[Tuple[str, str], ProfileData] = {}
@@ -324,8 +335,17 @@ class Evaluation:
         name: str,
         machine: MachineDescription,
         model_icache: bool = False,
+        collect_cycles: Optional[bool] = None,
     ) -> ProgramSimResult:
-        key = (name, machine.name, model_icache)
+        """One dynamic simulation (memoised per parameter point).
+
+        ``collect_cycles=None`` inherits the evaluation-wide setting;
+        ``True`` forces cycle accounting for this read regardless (the
+        baseline-comparison experiment does this — its overhead columns
+        need the attributed stacks).
+        """
+        cycles = self.collect_cycles if collect_cycles is None else collect_cycles
+        key = (name, machine.name, model_icache, cycles)
         if key not in self._simulations:
             if self.runner is not None:
                 from repro.runner import simulate_job
@@ -338,6 +358,7 @@ class Evaluation:
                         spec_config=self.settings.spec_config,
                         model_icache=model_icache,
                         collect_metrics=self.collect_metrics,
+                        collect_cycles=cycles,
                     )
                 )
             else:
@@ -351,6 +372,7 @@ class Evaluation:
                             compilation,
                             model_icache=model_icache,
                             collect_metrics=self.collect_metrics,
+                            collect_cycles=cycles,
                             trace=trace,
                         )
                     except TraceMismatch:
@@ -360,6 +382,7 @@ class Evaluation:
                         compilation,
                         model_icache=model_icache,
                         collect_metrics=self.collect_metrics,
+                        collect_cycles=cycles,
                     )
         return self._simulations[key]
 
@@ -377,7 +400,7 @@ class Evaluation:
         jobs: List["Job"] = []
         seen = set()
         for experiment in names:
-            for stage, role, model_icache in EXPERIMENT_NEEDS.get(
+            for stage, role, model_icache, force_cycles in EXPERIMENT_NEEDS.get(
                 experiment, ()
             ):
                 machine = self.machine_for(role)
@@ -392,6 +415,7 @@ class Evaluation:
                             spec_config=self.settings.spec_config,
                             model_icache=model_icache,
                             collect_metrics=self.collect_metrics,
+                            collect_cycles=force_cycles or self.collect_cycles,
                         )
                     else:
                         job = compile_job(
@@ -435,6 +459,24 @@ class Evaluation:
     def simulation_results(self) -> List[ProgramSimResult]:
         """Every simulation result this evaluation has produced so far."""
         return list(self._simulations.values())
+
+    def cycle_stack_results(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Cycle stacks of every simulation run so far.
+
+        Keyed ``benchmark@machine`` (icache-modelled simulations get an
+        ``+icache`` suffix); values are the per-machine-model stacks from
+        :attr:`repro.core.program_sim.ProgramSimResult.cycle_stacks`.
+        Simulations run without cycle accounting are skipped.
+        """
+        out: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for (name, machine, icache, _cycles), result in sorted(
+            self._simulations.items()
+        ):
+            stacks = getattr(result, "cycle_stacks", None)
+            if not stacks:
+                continue
+            out[f"{name}@{machine}" + ("+icache" if icache else "")] = stacks
+        return out
 
     def metrics_snapshot(self):
         """Merge of every collected simulation metrics snapshot so far.

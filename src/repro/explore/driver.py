@@ -25,6 +25,7 @@ from repro.evaluation.experiment import (
 )
 from repro.explore.cost import machine_cost
 from repro.explore.space import DesignPoint
+from repro.obs.cycles import CPIStack
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,10 @@ class PointResult:
     #: Arithmetic-mean prediction accuracy across benchmarks.
     accuracy: float
     benchmarks: Tuple[BenchmarkResult, ...]
+    #: Dominant non-issue cause of the point's merged proposed-machine
+    #: CPI stack (see :mod:`repro.obs.cycles`) — what bottlenecks this
+    #: design; ``"unknown"`` when cycle accounting was unavailable.
+    bottleneck: str = "unknown"
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -63,6 +68,7 @@ class PointResult:
             "cost": round(self.cost, 6),
             "speedup": round(self.speedup, 6),
             "accuracy": round(self.accuracy, 6),
+            "bottleneck": self.bottleneck,
             "benchmarks": [
                 {
                     "benchmark": b.benchmark,
@@ -86,7 +92,9 @@ def _evaluation_for(
     settings = EvaluationSettings(
         scale=scale, spec_config=point.spec_config
     ).with_benchmarks(benchmarks).with_machine("base", point.spec)
-    return Evaluation(settings, runner=runner)
+    # Cycle accounting rides along on every point so reports can label
+    # frontier entries with their dominant bottleneck.
+    return Evaluation(settings, runner=runner, collect_cycles=True)
 
 
 def explore_points(
@@ -121,8 +129,12 @@ def explore_points(
         if progress is not None:
             progress(point)
         bench_results: List[BenchmarkResult] = []
+        merged = CPIStack.of({})
         for name in evaluation.benchmarks:
             sim = evaluation.simulation(name, evaluation.machine_for("base"))
+            stacks = getattr(sim, "cycle_stacks", None)
+            if stacks and "proposed" in stacks:
+                merged = merged.merged(CPIStack.of(stacks["proposed"]))
             bench_results.append(
                 BenchmarkResult(
                     benchmark=name,
@@ -147,6 +159,7 @@ def explore_points(
                     else 0.0
                 ),
                 benchmarks=tuple(bench_results),
+                bottleneck=merged.dominant() or "unknown",
             )
         )
     return results

@@ -14,8 +14,9 @@ from repro.explore.driver import PointResult, pareto_frontier
 from repro.explore.space import DesignSpace
 from repro.ir.printer import format_table
 
-#: Bump when the artifact shape changes.
-REPORT_SCHEMA_VERSION = 1
+#: Bump when the artifact shape changes.  v2 added per-point
+#: ``bottleneck`` labels from the cycle-accounting engine.
+REPORT_SCHEMA_VERSION = 2
 
 
 def report_payload(
@@ -60,11 +61,19 @@ def render_table(results: Sequence[PointResult]) -> str:
                 f"{r.speedup:.3f}",
                 f"{r.cost:.2f}",
                 f"{r.accuracy:.3f}",
+                getattr(r, "bottleneck", "unknown"),
                 r.fingerprint[:12],
             )
         )
     table = format_table(
-        ["Point (* = Pareto)", "Speedup", "Cost", "Accuracy", "Machine"],
+        [
+            "Point (* = Pareto)",
+            "Speedup",
+            "Cost",
+            "Accuracy",
+            "Bottleneck",
+            "Machine",
+        ],
         body,
     )
     return "Design-space exploration (speedup vs hardware cost)\n" + table
@@ -75,7 +84,8 @@ def render_frontier(results: Sequence[PointResult]) -> str:
     lines = ["Pareto frontier (cheapest first):"]
     for r in frontier:
         lines.append(
-            f"  cost {r.cost:8.2f}  speedup {r.speedup:.3f}  {r.label}"
+            f"  cost {r.cost:8.2f}  speedup {r.speedup:.3f}  "
+            f"{r.label}  [{getattr(r, 'bottleneck', 'unknown')}]"
         )
     return "\n".join(lines)
 

@@ -182,7 +182,11 @@ def _trace_example(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     run = simulate_block(
-        example.spec_schedule, outcomes, collect_trace=True, metrics=registry
+        example.spec_schedule,
+        outcomes,
+        collect_trace=True,
+        collect_cycles=True,
+        metrics=registry,
     )
     snapshot = registry.snapshot()
 
@@ -241,7 +245,9 @@ def _trace_benchmark(args: argparse.Namespace) -> int:
         comp = compilation.block(label)
         correct = args.pattern == "best"
         outcomes = {l: correct for l in comp.spec_schedule.spec.ldpred_ids}
-        run = simulate_block(comp.spec_schedule, outcomes, collect_trace=True)
+        run = simulate_block(
+            comp.spec_schedule, outcomes, collect_trace=True, collect_cycles=True
+        )
         events.extend(
             block_run_events(
                 comp.spec_schedule,

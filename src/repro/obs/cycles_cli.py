@@ -1,0 +1,291 @@
+"""``repro-cycles``: CPI-stack reports, diffs and JSON artifacts.
+
+Front end over the cycle-accounting engine (:mod:`repro.obs.cycles`):
+simulates the requested benchmarks with ``collect_cycles=True`` and
+renders per-cause cycle breakdowns for the three machines the simulator
+times (``nopred``, ``proposed``, ``baseline``).
+
+Usage::
+
+    repro-cycles report                          # bar charts per benchmark/machine
+    repro-cycles report --out cycles.json        # + schema-versioned artifact
+    repro-cycles diff                            # proposed vs no-prediction story
+    repro-cycles diff old.json new.json          # delta between two artifacts
+    repro-cycles json                            # artifact JSON on stdout
+    repro-cycles report --benchmarks compress,swim --machines base --scale 0.25
+
+The artifact is deterministic (sorted keys, no timestamps): two runs of
+the same tree at the same settings are byte-identical, which CI uses as
+a reproducibility check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.evaluation.experiment import Evaluation, EvaluationSettings
+from repro.obs.cycles import (
+    CPI_SCHEMA_VERSION,
+    CPIStack,
+    render_diff,
+    render_stack,
+)
+
+#: Artifact schema version; bump together with the payload shape.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Machine-model order used by every renderer (simulation order).
+MODELS = ("nopred", "proposed", "baseline")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cycles",
+        description=(
+            "Cycle-accounting reports: attribute every simulated cycle "
+            "to one cause and render CPI stacks, diffs and artifacts."
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=("report", "diff", "json"),
+        help=(
+            "report: per-benchmark bar charts; diff: proposed-vs-"
+            "no-prediction deltas (or between two artifact files); "
+            "json: artifact JSON on stdout"
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="FILE",
+        help="for diff: two artifact files (OLD NEW) written by --out",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.65,
+        help="profile prediction-rate threshold (paper: 0.65)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="restrict the suite (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--machines",
+        default="base,wide",
+        metavar="ROLE[,ROLE...]",
+        help="machine roles to simulate (default: base,wide)",
+    )
+    parser.add_argument(
+        "--models",
+        default=",".join(MODELS),
+        metavar="MODEL[,MODEL...]",
+        help=(
+            "machine models to render: nopred, proposed, baseline "
+            "(default: all three; the artifact always carries all)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the schema-versioned JSON artifact to PATH",
+    )
+    parser.add_argument(
+        "--width", type=int, default=40, help="bar width (default 40)"
+    )
+    return parser
+
+
+def _parse_names(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    names: List[str] = []
+    for chunk in values:
+        names.extend(name for name in chunk.split(",") if name)
+    return names
+
+
+def collect_stacks(
+    settings: EvaluationSettings, roles: List[str]
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Simulate every benchmark on every role with cycle accounting.
+
+    Returns ``{"bench@machine": {model: {cause: cycles}}}``, sorted by
+    key — the artifact's ``stacks`` payload.
+    """
+    evaluation = Evaluation(settings, collect_cycles=True)
+    for role in roles:
+        machine = evaluation.machine_for(role)
+        for benchmark in evaluation.benchmarks:
+            evaluation.simulation(benchmark, machine)
+    return evaluation.cycle_stack_results()
+
+
+def artifact_payload(
+    settings: EvaluationSettings,
+    roles: List[str],
+    stacks: Dict[str, Dict[str, Dict[str, int]]],
+) -> Dict:
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "cpi_schema": CPI_SCHEMA_VERSION,
+        "settings": {
+            "scale": settings.scale,
+            "threshold": settings.spec_config.threshold,
+            "benchmarks": list(settings.benchmarks),
+            "machines": list(roles),
+        },
+        "stacks": {
+            key: {model: dict(sorted(counts.items())) for model, counts in models.items()}
+            for key, models in sorted(stacks.items())
+        },
+    }
+
+
+def dump_artifact(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema v{schema} unsupported "
+            f"(this tool reads v{ARTIFACT_SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def render_report(
+    stacks: Dict[str, Dict[str, Dict[str, int]]],
+    models: List[str],
+    width: int,
+) -> str:
+    sections: List[str] = []
+    for key, per_model in sorted(stacks.items()):
+        for model in models:
+            counts = per_model.get(model)
+            if counts is None:
+                continue
+            sections.append(
+                render_stack(
+                    CPIStack.of(counts), title=f"{key} [{model}]", width=width
+                )
+            )
+    return "\n\n".join(sections)
+
+
+def render_story_diff(
+    stacks: Dict[str, Dict[str, Dict[str, int]]], width: int
+) -> str:
+    """The paper's story, per simulation point: speculative (proposed)
+    minus no-prediction — load-wait cycles shrink, recovery causes
+    (sync_stall/reexec/flush_recovery) appear."""
+    sections: List[str] = []
+    for key, per_model in sorted(stacks.items()):
+        proposed = CPIStack.of(per_model.get("proposed", {}))
+        nopred = CPIStack.of(per_model.get("nopred", {}))
+        sections.append(
+            render_diff(
+                proposed,
+                nopred,
+                title=f"{key}: proposed - no-prediction",
+                width=width,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_artifact_diff(old: Dict, new: Dict, width: int) -> str:
+    old_stacks = old.get("stacks", {})
+    new_stacks = new.get("stacks", {})
+    sections: List[str] = []
+    for key in sorted(set(old_stacks) | set(new_stacks)):
+        old_models = old_stacks.get(key, {})
+        new_models = new_stacks.get(key, {})
+        for model in MODELS:
+            if model not in old_models and model not in new_models:
+                continue
+            sections.append(
+                render_diff(
+                    CPIStack.of(new_models.get(model, {})),
+                    CPIStack.of(old_models.get(model, {})),
+                    title=f"{key} [{model}]",
+                    width=width,
+                )
+            )
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "diff" and args.artifacts:
+        if len(args.artifacts) != 2:
+            print(
+                "repro-cycles diff takes exactly two artifact files (OLD NEW)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            old = load_artifact(args.artifacts[0])
+            new = load_artifact(args.artifacts[1])
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(render_artifact_diff(old, new, args.width))
+        return 0
+    if args.artifacts:
+        print(
+            f"unexpected positional argument(s) for {args.command!r}: "
+            f"{' '.join(args.artifacts)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    settings = EvaluationSettings(scale=args.scale).with_threshold(args.threshold)
+    try:
+        settings = settings.with_benchmarks(_parse_names(args.benchmarks))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    roles = _parse_names([args.machines]) or ["base", "wide"]
+    models = _parse_names([args.models]) or list(MODELS)
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(
+            f"unknown model(s) {', '.join(unknown)}; "
+            f"available: {', '.join(MODELS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    stacks = collect_stacks(settings, roles)
+    payload = artifact_payload(settings, roles, stacks)
+    if args.out:
+        dump_artifact(payload, args.out)
+
+    if args.command == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.command == "diff":
+        print(render_story_diff(stacks, args.width))
+    else:
+        print(render_report(stacks, models, args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.obs.trace import (
     BitClearEvent,
+    BufferStallEvent,
     CheckEvent,
     ExecuteEvent,
     FlushEvent,
@@ -109,6 +110,21 @@ def _instant(
     if args:
         event["args"] = dict(args)
     return event
+
+
+def _counter(
+    name: str, ts: float, pid: int, value: float, cat: str = "cpi"
+) -> Dict[str, Any]:
+    """A counter-track sample (``ph: "C"``); one track per ``name``."""
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "C",
+        "ts": ts,
+        "pid": pid,
+        "tid": 0,
+        "args": {"cycles": value},
+    }
 
 
 def block_run_events(
@@ -187,6 +203,31 @@ def block_run_events(
                     args={"bits": list(event.bits)},
                 )
             )
+        elif isinstance(event, BufferStallEvent):
+            if event.stall > 0:
+                events.append(
+                    _span(
+                        event.describe(),
+                        ts=event.cycle - event.stall,
+                        dur=event.stall,
+                        pid=pid_vliw,
+                        tid=tid_stalls,
+                        cat="buffer",
+                        args={"buffer": event.buffer, "op": event.op_id},
+                    )
+                )
+            else:
+                # Overflow (structural failure), not a timed wait.
+                events.append(
+                    _instant(
+                        event.describe(),
+                        ts=event.cycle,
+                        pid=pid_vliw,
+                        tid=tid_stalls,
+                        cat="buffer",
+                        args={"buffer": event.buffer, "op": event.op_id},
+                    )
+                )
         elif isinstance(event, CheckEvent):
             verdict = "correct" if event.correct else "MISPREDICT"
             events.append(
@@ -229,6 +270,16 @@ def block_run_events(
                     cat=event.kind,
                 )
             )
+
+    # One counter track per cycle-accounting cause (cumulative cycles);
+    # present when the run was simulated with collect_cycles as well.
+    cycle_events = getattr(run, "cycle_events", ()) or ()
+    totals: Dict[str, int] = {}
+    for cycle, cause, cycles in sorted(cycle_events):
+        totals[cause] = totals.get(cause, 0) + cycles
+        events.append(
+            _counter(f"cpi:{cause}", ts=cycle, pid=pid_vliw, value=totals[cause])
+        )
     return events
 
 

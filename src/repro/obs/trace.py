@@ -78,6 +78,33 @@ class StallEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class BufferStallEvent(TraceEvent):
+    """Issue stalled (or overflowed) on a full speculation buffer.
+
+    ``buffer`` is ``"ccb"`` or ``"ovb"``.  For the CCB the VLIW engine
+    stalls issue until the Compensation Code Engine frees entries and
+    ``stall`` is the cycles lost; a structural overflow (no frees can
+    ever help) raises instead and ``stall`` is 0.  The OVB has no stall
+    path — overflow always raises — so its events carry ``stall=0``.
+    """
+
+    kind: ClassVar[str] = "buffer_stall"
+    engine: ClassVar[str] = ENGINE_VLIW
+
+    buffer: str
+    op_id: int
+    stall: int
+
+    def describe(self) -> str:
+        if self.stall:
+            return (
+                f"stall {self.stall} cycle(s): {self.buffer.upper()} full "
+                f"at op{self.op_id}"
+            )
+        return f"{self.buffer.upper()} full at op{self.op_id}"
+
+
+@dataclass(frozen=True)
 class LdPredEvent(TraceEvent):
     """An ``LdPred`` issued: predicted value deposited, sync bit set."""
 

@@ -334,6 +334,7 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     compilation = dep_result(spec, dep_results, "compile")
     model_icache = bool(spec.param("model_icache", False))
     collect_metrics = bool(spec.param("collect_metrics", False))
+    collect_cycles = bool(spec.param("collect_cycles", False))
     trace = _maybe_trace(spec, dep_results)
     if trace is not None:
         try:
@@ -341,6 +342,7 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
                 compilation,
                 model_icache=model_icache,
                 collect_metrics=collect_metrics,
+                collect_cycles=collect_cycles,
                 trace=trace,
             )
         except TraceMismatch:
@@ -349,6 +351,7 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
         compilation,
         model_icache=model_icache,
         collect_metrics=collect_metrics,
+        collect_cycles=collect_cycles,
     )
 
 
@@ -427,12 +430,15 @@ def simulate_spec(
     model_icache: bool = False,
     profile_alu: bool = False,
     collect_metrics: bool = False,
+    collect_cycles: bool = False,
     pipeline: Optional[PipelineConfig] = None,
 ) -> JobSpec:
     config = spec_config or SpeculationConfig()
     # Flags join the params tuple only when set, so enabling a new
     # option never disturbs the cache keys of existing jobs.
     params: Tuple[Tuple[str, Any], ...] = ()
+    if collect_cycles:
+        params += (("collect_cycles", True),)
     if collect_metrics:
         params += (("collect_metrics", True),)
     if model_icache:

@@ -51,7 +51,32 @@ KEY_SERIES = (
     "repro_service_cache_misses_total",
     "repro_worker_cache_hits_total",
     "repro_worker_cache_misses_total",
+    "repro_sim_cycles_total",
 )
+
+#: Family carrying per-cause CPI-stack cycles from workers that ran
+#: simulation jobs with cycle accounting (labels: cause, model, worker).
+CYCLES_FAMILY = "repro_sim_cycles_total"
+
+
+def cause_totals(
+    samples: Dict[str, float], family: str = CYCLES_FAMILY
+) -> Dict[str, float]:
+    """Per-``cause`` totals of a family, summed across workers/models."""
+    totals: Dict[str, float] = {}
+    for key, value in samples.items():
+        if key.split("{", 1)[0] != family:
+            continue
+        cause = None
+        if "{" in key:
+            for pair in key[key.index("{") + 1 : key.rindex("}")].split(","):
+                name, _, raw = pair.partition("=")
+                if name.strip() == "cause":
+                    cause = raw.strip().strip('"')
+                    break
+        if cause:
+            totals[cause] = totals.get(cause, 0.0) + value
+    return dict(sorted(totals.items()))
 
 
 def series_total(samples: Dict[str, float], family: str) -> float:
@@ -122,6 +147,7 @@ def collect(
         "series": {
             family: series_total(samples, family) for family in KEY_SERIES
         },
+        "cycles": cause_totals(samples),
         "latency": {
             "queue_wait_p50": quantile(
                 samples, "repro_service_queue_wait_seconds", "0.5"
@@ -199,6 +225,18 @@ def render(frame: Dict[str, Any], rates: Dict[str, float]) -> str:
         f"exec p50 {_fmt_seconds(latency.get('lease_to_complete_p50'))} "
         f"p95 {_fmt_seconds(latency.get('lease_to_complete_p95'))}"
     )
+    cycles = frame.get("cycles") or {}
+    total_cycles = sum(cycles.values())
+    if total_cycles > 0:
+        top_causes = sorted(cycles.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        lines.append(
+            "cycles: "
+            + "  ".join(
+                f"{cause} {value / total_cycles:.0%}"
+                for cause, value in top_causes
+            )
+            + f"   ({total_cycles:.0f} attributed)"
+        )
     workers = frame.get("workers", [])
     if workers:
         lines.append("")

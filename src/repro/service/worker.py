@@ -254,7 +254,7 @@ class Worker:
         t0 = time.monotonic()
         try:
             runner = Runner(jobs=1, cache=self.cache, events=events)
-            runner.run_job(job)
+            result = runner.run_job(job)
         except Exception as exc:  # noqa: BLE001 - report any job failure upstream
             self.failed += 1
             self.metrics.inc("worker.jobs_failed", label=self._label())
@@ -267,6 +267,19 @@ class Worker:
         elapsed = time.monotonic() - t0
         self.executed += 1
         self.metrics.inc("worker.jobs_done", label=self._label())
+        # Simulation jobs run with cycle accounting carry per-cause CPI
+        # stacks; fold them into worker telemetry so the broker's
+        # ``/metrics`` exposes fleet-wide ``repro_sim_cycles_total``
+        # broken down by cause and machine model.
+        stacks = getattr(result, "cycle_stacks", None)
+        if stacks:
+            for model, stack in stacks.items():
+                for cause, cycles in stack.items():
+                    self.metrics.inc(
+                        "sim.cycles",
+                        cycles,
+                        label=self._label(f"cause={cause},model={model}"),
+                    )
         self.metrics.observe(
             "worker.job_seconds",
             elapsed,

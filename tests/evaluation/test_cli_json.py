@@ -108,3 +108,54 @@ class TestRunnerFlags:
     def test_unknown_cache_command(self, capsys, tmp_path):
         assert main(["cache", "bogus", "--cache-dir", str(tmp_path)]) == 2
         assert "unknown cache command" in capsys.readouterr().err
+
+
+class TestCpiFlag:
+    def test_cpi_appends_table_in_text_mode(self, capsys, tmp_path):
+        assert (
+            main(
+                ["table2", "--scale", "0.2", "--cpi",
+                 "--benchmarks", "compress", "--cache-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "CPI stacks (--cpi)" in out
+        assert "compress@playdoh-4w" in out
+
+    def test_cpi_json_appends_cpi_document(self, capsys, tmp_path):
+        assert (
+            main(
+                ["table2", "--scale", "0.2", "--json", "--cpi",
+                 "--benchmarks", "compress", "--cache-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        decoder = json.JSONDecoder()
+        rows, end = decoder.raw_decode(out)
+        cpi, _ = decoder.raw_decode(out[end:].lstrip())
+        assert [row["benchmark"] for row in rows] == ["compress"]
+        stacks = cpi["cpi"]
+        assert any(key.startswith("compress@") for key in stacks)
+        for models in stacks.values():
+            assert {"nopred", "proposed", "baseline"} <= set(models)
+            for counts in models.values():
+                assert sum(counts.values()) > 0
+
+    def test_without_cpi_output_is_unchanged_and_stable(self, capsys, tmp_path):
+        """The disabled path: table output must be byte-identical run to
+        run and must not mention CPI stacks."""
+        outputs = []
+        for n in range(2):
+            assert (
+                main(
+                    ["table2", "--scale", "0.2", "--benchmarks", "compress",
+                     "--cache-dir", str(tmp_path / str(n))]
+                )
+                == 0
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "CPI" not in outputs[0]

@@ -1,0 +1,90 @@
+"""Golden-file test: the CPI-stack artifact is stable and tells the
+paper's story.
+
+``tests/obs/golden/cycles_scale04.json`` is the ``repro-cycles``
+artifact for the full tier-1 suite at scale 0.4 (the smallest scale at
+which every benchmark's value profile warms past the paper's 0.65
+threshold) on both the 4-wide and 8-wide machines.  Regenerate after an
+*intentional* accounting change with::
+
+    PYTHONPATH=src python -c "
+    from repro.evaluation.experiment import EvaluationSettings
+    from repro.obs.cycles_cli import collect_stacks, artifact_payload, dump_artifact
+    s = EvaluationSettings(scale=0.4).with_threshold(0.65)
+    st = collect_stacks(s, ['base', 'wide'])
+    dump_artifact(artifact_payload(s, ['base', 'wide'], st),
+                  'tests/obs/golden/cycles_scale04.json')"
+
+The story assertions encode Table 2's mechanism: value speculation
+converts load-dependence wait cycles into (fewer) recovery cycles on
+the second engine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.experiment import EvaluationSettings
+from repro.obs.cycles_cli import artifact_payload, collect_stacks
+
+GOLDEN = Path(__file__).parent / "golden" / "cycles_scale04.json"
+
+#: Dynamic-recovery causes the speculative machine introduces.
+RECOVERY = ("check_compare", "sync_stall", "reexec", "flush_recovery")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    settings = EvaluationSettings(scale=0.4).with_threshold(0.65)
+    roles = ["base", "wide"]
+    stacks = collect_stacks(settings, roles)
+    return artifact_payload(settings, roles, stacks)
+
+
+def test_artifact_matches_golden(payload):
+    golden = json.loads(GOLDEN.read_text())
+    assert payload == golden
+
+
+def test_every_point_sums_and_covers_suite(payload):
+    stacks = payload["stacks"]
+    # 8 benchmarks x 2 machines, 3 models each.
+    assert len(stacks) == 16
+    for key, models in stacks.items():
+        assert set(models) == {"nopred", "proposed", "baseline"}
+        for model, counts in models.items():
+            assert counts, (key, model)
+            assert all(v > 0 for v in counts.values())
+
+
+def test_diff_reproduces_paper_story(payload):
+    """proposed - nopred per point: load-wait cycles shrink, recovery
+    causes appear."""
+    stacks = payload["stacks"]
+    total_load_wait_saved = 0
+    for key, models in stacks.items():
+        nopred = models["nopred"]
+        proposed = models["proposed"]
+        saved = nopred.get("load_wait", 0) - proposed.get("load_wait", 0)
+        # Speculation never *adds* memory-wait cycles at any point...
+        assert saved >= 0, key
+        total_load_wait_saved += saved
+        # ...and every point pays some recovery for its speculation.
+        recovery = sum(proposed.get(cause, 0) for cause in RECOVERY)
+        assert recovery > 0, key
+        assert all(nopred.get(cause, 0) == 0 for cause in RECOVERY), key
+    # ...while across the suite the saving is strict: that is the paper.
+    assert total_load_wait_saved > 0
+
+
+def test_trade_is_profitable_in_aggregate(payload):
+    """The recovery cycles bought must cost less than the wait cycles
+    saved — otherwise the proposed machine would not speed up."""
+    totals = {"nopred": 0, "proposed": 0}
+    for models in payload["stacks"].values():
+        for model in totals:
+            totals[model] += sum(models[model].values())
+    assert totals["proposed"] < totals["nopred"]

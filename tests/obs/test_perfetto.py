@@ -156,3 +156,76 @@ class TestWriteTrace:
     def test_invalid_payload_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="invalid chrome trace"):
             write_trace(str(tmp_path / "bad.json"), {"traceEvents": [{}]})
+
+
+class TestCycleCounterTrack:
+    """CPI counter tracks and buffer-stall spans in the block export."""
+
+    @pytest.fixture(scope="class")
+    def cycles_run(self, example):
+        from repro.core.machine_sim import simulate_block
+
+        outcomes = {l: False for l in example.spec_schedule.spec.ldpred_ids}
+        return simulate_block(
+            example.spec_schedule,
+            outcomes,
+            collect_trace=True,
+            collect_cycles=True,
+        )
+
+    def test_counter_events_per_cause(self, example, cycles_run):
+        events = block_run_events(example.spec_schedule, cycles_run)
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert counters, "no counter events emitted"
+        assert all(e["name"].startswith("cpi:") for e in counters)
+        # Cumulative: the last sample per cause equals the stack total.
+        finals = {}
+        for e in counters:
+            finals[e["name"][len("cpi:"):]] = e["args"]["cycles"]
+        assert finals == dict(cycles_run.cycle_stack)
+        assert validate_chrome_trace(chrome_trace(events)) == []
+
+    def test_no_counters_without_cycle_collection(self, trace_events):
+        assert [e for e in trace_events if e.get("ph") == "C"] == []
+
+    def test_ccb_stall_becomes_span(self, example):
+        from repro.core.machine_sim import simulate_block
+
+        outcomes = {l: False for l in example.spec_schedule.spec.ldpred_ids}
+        run = simulate_block(
+            example.spec_schedule,
+            outcomes,
+            collect_trace=True,
+            collect_cycles=True,
+            ccb_capacity=3,
+        )
+        assert dict(run.cycle_stack).get("ccb_pressure", 0) > 0
+        events = block_run_events(example.spec_schedule, run)
+        spans = [
+            e
+            for e in events
+            if e.get("cat") == "buffer" and e.get("ph") == "X"
+        ]
+        assert spans, "CCB stall did not render as a span"
+        assert all(e["dur"] > 0 for e in spans)
+        assert validate_chrome_trace(chrome_trace(events)) == []
+
+    def test_ovb_overflow_becomes_instant(self, example):
+        from dataclasses import replace
+
+        from repro.obs.trace import BufferStallEvent
+
+        run = example.scenarios["r7 mispredicted"]
+        boosted = replace(
+            run,
+            trace=run.trace
+            + (BufferStallEvent(cycle=4, buffer="ovb", op_id=99, stall=0),),
+        )
+        events = block_run_events(example.spec_schedule, boosted)
+        instants = [
+            e
+            for e in events
+            if e.get("cat") == "buffer" and e.get("ph") == "i"
+        ]
+        assert len(instants) == 1
+        assert validate_chrome_trace(chrome_trace(events)) == []

@@ -358,3 +358,50 @@ class TestDisabledTelemetryByteIdentity:
                 service.close()
         assert payloads["enabled"] == payloads["disabled"]
         assert all(p is not None for p in payloads["enabled"].values())
+
+
+class TestFleetCycleAccounting:
+    def test_simulate_job_cycles_reach_broker_metrics(self, loopback):
+        """A simulate job run with ``collect_cycles=True`` must surface
+        per-cause CPI-stack cycles on the broker's ``/metrics`` as
+        ``repro_sim_cycles_total{cause=...,model=...,worker=...}`` and in
+        the repro-top frame/dashboard."""
+        from repro.machine.configs import PLAYDOH_4W
+        from repro.runner.jobs import simulate_job
+        from repro.service.top import cause_totals
+
+        loopback.spawn_workers(1)
+        job = simulate_job(
+            "compress", PLAYDOH_4W, scale=0.25, collect_cycles=True
+        )
+        ServiceRunner(loopback.url).run([job])
+        client = ServiceClient(loopback.url)
+        samples = _await_series(client, "repro_sim_cycles_total", 1)
+
+        per_cause = cause_totals(samples)
+        assert per_cause.get("issue", 0) > 0
+        # Three machine models contribute (nopred/proposed/baseline).
+        models = {
+            pair.split("=", 1)[1].strip('"')
+            for key in samples
+            if key.startswith("repro_sim_cycles_total{")
+            for pair in key[key.index("{") + 1 : -1].split(",")
+            if pair.startswith("model=")
+        }
+        assert models == {"nopred", "proposed", "baseline"}
+
+        frame = collect(client)
+        assert frame["cycles"] == per_cause
+        assert frame["series"]["repro_sim_cycles_total"] > 0
+        assert "cycles:" in render(frame, {})
+
+    def test_jobs_without_cycles_emit_no_cycle_series(self, loopback):
+        loopback.spawn_workers(1)
+        ServiceRunner(loopback.url).run(_jobs(2))
+        client = ServiceClient(loopback.url)
+        _await_series(client, "repro_worker_jobs_done_total", 2)
+        samples = parse_exposition(client.metrics_text())
+        assert series_total(samples, "repro_sim_cycles_total") == 0
+        frame = collect(client)
+        assert frame["cycles"] == {}
+        assert "cycles:" not in render(frame, {})
