@@ -1,0 +1,132 @@
+"""NumPy gate for the batched simulation core.
+
+NumPy has been declared in ``pyproject.toml`` since the seed commit but
+only became load-bearing with :mod:`repro.batchsim`.  This module is the
+single place that imports it: everything else asks :func:`batch_enabled`
+(may the batched engine run?) or :func:`require_numpy` (give me the
+module or a clear error).
+
+Two escape hatches force the scalar path:
+
+* ``REPRO_NO_BATCH=1`` in the environment — disables the batched engine
+  *and* the process-wide compile/simulation product sharing it rides on,
+  so a parity job can diff batched against fully-scalar artifacts;
+* a missing or too-old NumPy — the scalar engine needs nothing beyond
+  the standard library, so the repo degrades gracefully.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: Environment variable forcing the scalar path (value ``"1"``).
+NO_BATCH_ENV = "REPRO_NO_BATCH"
+
+#: Oldest NumPy the batched engine is tested against (object-dtype
+#: gathers and ``bincount`` semantics are stable well before this, but
+#: pyproject declares >=1.24 and we enforce the same floor at runtime).
+MIN_NUMPY = (1, 24)
+
+_numpy = None
+_numpy_error: Optional[str] = None
+_checked = False
+
+
+def _parse_version(version: str) -> Tuple[int, ...]:
+    parts = []
+    for token in version.split(".")[:3]:
+        digits = ""
+        for ch in token:
+            if not ch.isdigit():
+                break
+            digits += ch
+        if not digits:
+            break
+        parts.append(int(digits))
+    return tuple(parts)
+
+
+def _check() -> None:
+    global _numpy, _numpy_error, _checked
+    if _checked:
+        return
+    _checked = True
+    try:
+        import numpy
+    except ImportError as exc:
+        _numpy_error = (
+            "repro.batchsim needs NumPy (declared in pyproject.toml) but "
+            f"importing it failed: {exc}.  Install numpy>={MIN_NUMPY[0]}."
+            f"{MIN_NUMPY[1]}, or set {NO_BATCH_ENV}=1 to force the scalar "
+            "simulation path."
+        )
+        return
+    version = _parse_version(getattr(numpy, "__version__", "0"))
+    if version < MIN_NUMPY:
+        _numpy_error = (
+            f"repro.batchsim needs numpy>={MIN_NUMPY[0]}.{MIN_NUMPY[1]} "
+            f"but found {numpy.__version__}.  Upgrade it, or set "
+            f"{NO_BATCH_ENV}=1 to force the scalar simulation path."
+        )
+        return
+    _numpy = numpy
+
+
+_scalar_forced: Optional[bool] = None
+
+
+def scalar_forced() -> bool:
+    """True when the user explicitly forced the scalar path.
+
+    The answer is cached: :func:`sharing_enabled` sits on the hot path
+    of every memo lookup, and ``os.environ`` reads are slow enough to
+    show up there.  The variable is a per-process switch (CI sets it on
+    whole job legs); :func:`refresh` — called by
+    ``repro.batchsim.reset_shared_state`` — re-reads it for tests that
+    flip the environment mid-process.
+    """
+    global _scalar_forced
+    if _scalar_forced is None:
+        _scalar_forced = os.environ.get(NO_BATCH_ENV) == "1"
+    return _scalar_forced
+
+
+def refresh() -> None:
+    """Forget the cached environment reads (see :func:`scalar_forced`)."""
+    global _scalar_forced
+    _scalar_forced = None
+
+
+def numpy_error() -> Optional[str]:
+    """The import/version problem keeping NumPy unusable, or ``None``."""
+    _check()
+    return _numpy_error
+
+
+def have_numpy() -> bool:
+    _check()
+    return _numpy is not None
+
+
+def batch_enabled() -> bool:
+    """May the batched engine run in this process?"""
+    return not scalar_forced() and have_numpy()
+
+
+def sharing_enabled() -> bool:
+    """May compiler/simulation products be shared process-wide?
+
+    The sharing caches are pure Python (no NumPy), but they are part of
+    the batched fast path, so the same ``REPRO_NO_BATCH=1`` hatch turns
+    them off — the parity CI legs then compare a genuinely scalar run.
+    """
+    return not scalar_forced()
+
+
+def require_numpy():
+    """Return the NumPy module or raise with a clear remediation hint."""
+    _check()
+    if _numpy is None:
+        raise ImportError(_numpy_error)
+    return _numpy

@@ -144,16 +144,24 @@ def measure(
     """Time ``fn`` ``repeats`` times (after ``warmup`` untimed calls).
 
     Runs ``gc.collect()`` before every timed call so collector debt from
-    a previous iteration is not billed to the next one.  Returns robust
-    wall-time stats plus each call's return value.
+    a previous iteration is not billed to the next one, and resets the
+    process-wide sweep-sharing caches (batch context, compile memos,
+    shared build/profile products) so every timed iteration pays the
+    full cost a fresh process would — without the reset, repeat 2+ of a
+    sweep scenario would measure little but memo lookups.  Returns
+    robust wall-time stats plus each call's return value.
     """
+    from repro.batchsim import reset_shared_state
+
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     for _ in range(warmup):
+        reset_shared_state()
         fn()
     samples: List[float] = []
     results: List[Any] = []
     for _ in range(repeats):
+        reset_shared_state()
         gc.collect()
         start = time.perf_counter()
         results.append(fn())

@@ -404,6 +404,79 @@ def _run_explore_grid(ctx: BenchContext, state: Any) -> ScenarioRun:
     )
 
 
+#: Machines the batched-sweep scenario simulates per benchmark in one
+#: ``batch_simulate`` job.
+BATCHED_SWEEP_MACHINES = ("playdoh-4w", "playdoh-8w", "unlimited")
+
+#: Axes the surrogate-prune scenario sweeps (6 candidate points).
+SURROGATE_PRUNE_AXES = ("issue_width=2,4", "threshold=0.5,0.65,0.8")
+
+
+def _run_batched_sweep(ctx: BenchContext, state: Any) -> ScenarioRun:
+    """A machine sweep through the runner's ``batch_simulate`` stage:
+    per benchmark, one job simulates every machine point off one shared
+    trace decode (each result byte-identical to a scalar simulate job)."""
+    from repro.machine.configs import by_name
+    from repro.runner import Runner, batch_simulate_job
+
+    machines = [by_name(name) for name in BATCHED_SWEEP_MACHINES]
+    runner = Runner(jobs=1, cache=None)
+    cycles = 0
+    points = 0
+    try:
+        for name in ABLATION_BENCHMARKS:
+            results = runner.run_job(
+                batch_simulate_job(name, machines, scale=ctx.workload_scale)
+            )
+            points += len(results)
+            cycles += sum(r.cycles_proposed for r in results.values())
+    finally:
+        runner.close()
+    return ScenarioRun(
+        counters={
+            "sim_points": float(points),
+            "sim_cycles": float(cycles),
+        }
+    )
+
+
+def _run_surrogate_prune(ctx: BenchContext, state: Any) -> ScenarioRun:
+    """A surrogate-pruned design-space sweep: every candidate is compiled
+    and analytically estimated, only the keep set (estimated frontier +
+    top quarter) is exactly simulated, and the survivors' estimates are
+    cross-validated against their exact simulations."""
+    from repro.explore import Axis, DesignSpace, explore
+    from repro.machine.configs import PLAYDOH_4W_SPEC
+
+    space = DesignSpace(
+        base=PLAYDOH_4W_SPEC,
+        axes=tuple(Axis.parse(a) for a in SURROGATE_PRUNE_AXES),
+    )
+    points = space.grid()
+    outcome = explore(
+        points,
+        scale=ctx.workload_scale,
+        benchmarks=list(ABLATION_BENCHMARKS),
+        surrogate=True,
+    )
+    cycles = sum(
+        b.cycles_proposed for r in outcome.results for b in r.benchmarks
+    )
+    return ScenarioRun(
+        counters={
+            "candidates": float(len(points)),
+            "simulated": float(len(outcome.results)),
+            "pruned": float(len(outcome.pruned)),
+            "sim_cycles": float(cycles),
+        },
+        extra={
+            "surrogate_max_rel_error": (
+                outcome.surrogate.max_rel_error if outcome.surrogate else None
+            ),
+        },
+    )
+
+
 register_scenario(
     BenchScenario(
         name="table2",
@@ -501,13 +574,35 @@ register_scenario(
         run=_run_sweep_replay,
     )
 )
+register_scenario(
+    BenchScenario(
+        name="batched_sweep",
+        description=f"Machine sweep {BATCHED_SWEEP_MACHINES} over "
+        f"{ABLATION_BENCHMARKS} through the runner's batch_simulate "
+        "stage: one batched pass per benchmark across all machine points",
+        subsystems=("batchsim", "runner", "core"),
+        run=_run_batched_sweep,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="surrogate_prune",
+        description=f"Surrogate-pruned sweep {SURROGATE_PRUNE_AXES} over "
+        f"{ABLATION_BENCHMARKS}: analytical estimates rank all candidates, "
+        "only the keep set is exactly simulated (with cross-validation)",
+        subsystems=("batchsim", "explore", "core"),
+        run=_run_surrogate_prune,
+    )
+)
 
 # Re-export for harness convenience.
 __all__ = [
     "ABLATION_BENCHMARKS",
     "ABLATION_THRESHOLDS",
+    "BATCHED_SWEEP_MACHINES",
     "EXPLORE_GRID_AXES",
     "HOTLOOP_BENCHMARKS",
+    "SURROGATE_PRUNE_AXES",
     "SWEEP_REPLAY_THRESHOLDS",
     "BenchContext",
     "BenchScenario",

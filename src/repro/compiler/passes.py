@@ -196,12 +196,11 @@ def _pass_liveness(state: CompileState) -> bool:
 
 
 def _pass_schedule_original(state: CompileState) -> bool:
+    from repro.core import compile_cache
     from repro.core.metrics import BlockCompilation
-    from repro.sched.list_scheduler import ListScheduler
 
-    scheduler = ListScheduler(state.machine)
     for block in state.program.main:
-        length = scheduler.schedule_block(block).length
+        length = compile_cache.original_schedule(block, state.machine).length
         state.blocks[block.label] = BlockCompilation(
             label=block.label, original_length=length
         )
@@ -228,27 +227,27 @@ def _pass_speculate(state: CompileState) -> bool:
 
 
 def _pass_schedule_speculative(state: CompileState) -> bool:
-    from repro.core.specsched import schedule_speculative
+    from repro.core import compile_cache
 
     if state.specs:
         state.require("blocks", "schedule-speculative", "schedule-original")
     for label, spec in state.specs.items():
         compilation = state.blocks[label]
-        compilation.spec_schedule = schedule_speculative(
-            spec, state.machine, original_length=compilation.original_length
+        compilation.spec_schedule = compile_cache.speculative_schedule(
+            spec, state.machine, compilation.original_length
         )
     return bool(state.specs)
 
 
 def _pass_baseline(state: CompileState) -> bool:
-    from repro.core.baseline import build_baseline_block
+    from repro.core import compile_cache
 
     if state.specs:
         state.require("blocks", "baseline", "schedule-original")
     for label, spec in state.specs.items():
         compilation = state.blocks[label]
-        compilation.baseline = build_baseline_block(
-            spec, state.machine, original_length=compilation.original_length
+        compilation.baseline = compile_cache.baseline_block(
+            spec, state.machine, compilation.original_length
         )
     return bool(state.specs)
 

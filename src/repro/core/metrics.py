@@ -18,10 +18,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir.program import Program
 from repro.machine.description import MachineDescription
-from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import MetricsSnapshot
 from repro.profiling.profile_run import ProfileData
 from repro.core.baseline import BaselineBlock
-from repro.core.machine_sim import BlockRun, simulate_block
+from repro.core.machine_sim import BlockRun
 from repro.core.specsched import SpeculativeSchedule
 from repro.core.speculation import SpeculationConfig
 
@@ -109,7 +109,12 @@ class BlockCompilation:
                 raise ValueError(
                     f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
                 )
-            cached = simulate_block(self.spec_schedule, dict(zip(ldpreds, pattern)))
+            # Shared process-wide per (spec schedule, pattern): sweep
+            # points compiled from the same transform read one memo (the
+            # speculation pass's validation sweep pre-seeds it).
+            from repro.core import compile_cache
+
+            cached = compile_cache.pattern_run(self.spec_schedule, pattern)
             self._pattern_cache[pattern] = cached
         return cached
 
@@ -138,11 +143,9 @@ class BlockCompilation:
                 raise ValueError(
                     f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
                 )
-            registry = MetricsRegistry()
-            run = simulate_block(
-                self.spec_schedule, dict(zip(ldpreds, pattern)), metrics=registry
-            )
-            cached = registry.snapshot()
+            from repro.core import compile_cache
+
+            run, cached = compile_cache.pattern_metrics(self.spec_schedule, pattern)
             self._metrics_cache[pattern] = cached
             self._pattern_cache.setdefault(pattern, run)
         return cached
@@ -166,12 +169,9 @@ class BlockCompilation:
                 raise ValueError(
                     f"pattern of length {len(pattern)} for {len(ldpreds)} predictions"
                 )
-            run = simulate_block(
-                self.spec_schedule,
-                dict(zip(ldpreds, pattern)),
-                collect_cycles=True,
-            )
-            cached = dict(run.cycle_stack)
+            from repro.core import compile_cache
+
+            run, cached = compile_cache.pattern_cycles(self.spec_schedule, pattern)
             cache[pattern] = cached
             self._pattern_cache.setdefault(pattern, run)
         return cached

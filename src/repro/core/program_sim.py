@@ -32,12 +32,12 @@ from repro.ir.block import BasicBlock
 from repro.ir.operation import Operation
 from repro.obs.cycles import attribute_schedule
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, NULL_METRICS
-from repro.sched.list_scheduler import ListScheduler
 from repro.predict.base import ValuePredictor, _values_equal
 from repro.predict.confidence import ConfidenceEstimator
 from repro.predict.hybrid import default_hybrid
 from repro.predict.table import ValuePredictionTable
 from repro.profiling.interpreter import Interpreter
+from repro.core import compile_cache
 from repro.core.baseline import simulate_baseline_block, simulate_squash_block
 from repro.core.icache import CodeLayout, ICacheConfig, InstructionCache
 from repro.core.metrics import (
@@ -143,6 +143,225 @@ class ProgramSimResult:
         return overhead / self.cycles_baseline
 
 
+@dataclass
+class SimCounts:
+    """Sufficient statistics of one dynamic run (non-icache machines).
+
+    Everything :func:`simulate_program` reports is an exact,
+    deterministic function of these counts plus the (memoised) per-block
+    compiler products: per label, how many instances ran non-speculated
+    / confidence-gated / under each correctness pattern, plus the raw
+    predictor hit counters.  The scalar observer and the batched engine
+    (:mod:`repro.batchsim.engine`) both reduce a run to this record and
+    share :func:`_fold_counts` for the accounting — which is what makes
+    batched results byte-identical to scalar results by construction.
+    """
+
+    nonspec: Dict[str, int] = field(default_factory=dict)
+    gated: Dict[str, int] = field(default_factory=dict)
+    patterns: Dict[str, Dict[Tuple[bool, ...], int]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    no_predictions: int = 0
+
+
+def _shared_original_attribution(
+    compilation: ProgramCompilation, comp: BlockCompilation
+) -> Dict[str, int]:
+    """Per-cause attribution of the block's original schedule.
+
+    The compiler records only the original schedule *length*; list
+    scheduling is deterministic, so rebuilding the schedule here
+    reproduces it exactly (asserted against the recorded length).
+    """
+    block = compilation.program.main.block(comp.label)
+    machine = compilation.machine
+    fp = compile_cache.machine_fingerprint(machine)
+
+    def compute() -> Dict[str, int]:
+        schedule = compile_cache.original_schedule(block, machine)
+        assert schedule.length == comp.original_length, (
+            f"block {comp.label!r}: rebuilt original schedule is "
+            f"{schedule.length} cycles, compiler recorded {comp.original_length}"
+        )
+        return attribute_schedule(schedule)
+
+    return compile_cache.cached(block, ("oattr", fp), compute)
+
+
+def _shared_baseline_attribution(comp: BlockCompilation) -> Dict[str, int]:
+    """Static attribution of the baseline machine's main schedule."""
+    baseline = comp.baseline
+    block = baseline.spec.original
+
+    def compute():
+        counts = attribute_schedule(baseline.schedule.schedule)
+        assert sum(counts.values()) == baseline.main_length
+        # The memo value pins the baseline object so the id in the key
+        # stays valid for the entry's lifetime.
+        return (baseline, counts)
+
+    return compile_cache.cached(block, ("battr", id(baseline)), compute)[1]
+
+
+def _shared_baseline_run(comp: BlockCompilation, ldpreds, pattern, machine):
+    """Baseline recovery timing for one pattern (pure — no icache)."""
+    baseline = comp.baseline
+    block = baseline.spec.original
+    fp = compile_cache.machine_fingerprint(machine)
+    entry = compile_cache.cached(
+        block,
+        ("brun", id(baseline), fp, pattern),
+        lambda: (
+            baseline,
+            simulate_baseline_block(
+                baseline, dict(zip(ldpreds, pattern)), machine
+            ),
+        ),
+    )
+    return entry[1]
+
+
+def _shared_squash_run(comp: BlockCompilation, ldpreds, pattern, machine):
+    """Squash recovery timing for one pattern (memoised)."""
+    schedule = comp.spec_schedule
+    block = schedule.spec.original
+    fp = compile_cache.machine_fingerprint(machine)
+    entry = compile_cache.cached(
+        block,
+        ("srun", id(schedule), fp, pattern),
+        lambda: (
+            schedule,
+            simulate_squash_block(
+                schedule, dict(zip(ldpreds, pattern)), machine
+            ),
+        ),
+    )
+    return entry[1]
+
+
+def _charge_scaled(stack: Dict[str, int], counts: Mapping[str, int], n: int) -> None:
+    for cause, cycles in counts.items():
+        stack[cause] = stack.get(cause, 0) + cycles * n
+
+
+def _account_class_counts(
+    res: ProgramSimResult,
+    outcome: OutcomeClass,
+    cycles: int,
+    comp: BlockCompilation,
+    n: int,
+) -> None:
+    res.cycles_by_class[outcome] = res.cycles_by_class.get(outcome, 0) + cycles * n
+    res.instances_by_class[outcome] = res.instances_by_class.get(outcome, 0) + n
+    res.original_cycles_by_class[outcome] = (
+        res.original_cycles_by_class.get(outcome, 0) + comp.original_length * n
+    )
+
+
+def _fold_counts(
+    compilation: ProgramCompilation,
+    counts: SimCounts,
+    result: ProgramSimResult,
+    registry: MetricsRegistry,
+    collect_cycles: bool,
+    cycle_stacks: Dict[str, Dict[str, int]],
+    predictor_label: str,
+) -> None:
+    """Deterministic accounting of a run from its sufficient statistics.
+
+    Labels and patterns are folded in sorted order, each charged
+    ``count`` times via multiplication, so every result container has a
+    canonical layout independent of dynamic encounter order — the
+    keystone of scalar/batched byte-parity.  Per-pattern block timings,
+    baseline and squash recovery runs are computed once per (block,
+    pattern) and shared process-wide through
+    :mod:`repro.core.compile_cache`.
+    """
+    machine = compilation.machine
+    res = result
+    if registry.enabled:
+        if counts.hits:
+            registry.inc("predict.hit", counts.hits, label=predictor_label)
+        if counts.misses:
+            registry.inc("predict.miss", counts.misses, label=predictor_label)
+        if counts.no_predictions:
+            registry.inc(
+                "predict.no_prediction",
+                counts.no_predictions,
+                label=predictor_label,
+            )
+    labels = sorted(
+        set(counts.nonspec) | set(counts.gated) | set(counts.patterns)
+    )
+    for label in labels:
+        comp = compilation.blocks[label]
+        n_nonspec = counts.nonspec.get(label, 0)
+        n_gated = counts.gated.get(label, 0)
+        per_pattern = counts.patterns.get(label)
+        n_spec = sum(per_pattern.values()) if per_pattern else 0
+        total = n_nonspec + n_gated + n_spec
+        res.dynamic_blocks += total
+        res.cycles_nopred += comp.original_length * total
+        res.gated_instances += n_gated
+        plain = n_nonspec + n_gated
+        if plain:
+            res.cycles_proposed += comp.original_length * plain
+            res.cycles_baseline += comp.original_length * plain
+            res.cycles_squash += comp.original_length * plain
+            _account_class_counts(
+                res, OutcomeClass.NOT_SPECULATED, comp.original_length, comp, plain
+            )
+        if collect_cycles and total:
+            orig = _shared_original_attribution(compilation, comp)
+            _charge_scaled(cycle_stacks["nopred"], orig, total)
+            if plain:
+                _charge_scaled(cycle_stacks["proposed"], orig, plain)
+                _charge_scaled(cycle_stacks["baseline"], orig, plain)
+        if not per_pattern:
+            continue
+        ldpreds = comp.spec_schedule.spec.ldpred_ids
+        for pattern in sorted(per_pattern):
+            n = per_pattern[pattern]
+            run = comp.run_for(pattern)
+            if registry.enabled:
+                registry.merge_snapshot(comp.metrics_for(pattern).scaled(n))
+            res.cycles_proposed += run.effective_length * n
+            res.predictions += run.predictions * n
+            res.mispredictions += run.mispredictions * n
+            res.stall_cycles += run.stall_cycles * n
+            res.cc_executed += run.executed * n
+            res.cc_flushed += run.flushed * n
+            if collect_cycles:
+                _charge_scaled(
+                    cycle_stacks["proposed"], comp.cycles_for(pattern), n
+                )
+            outcome = classify_outcome(run.predictions, run.mispredictions)
+            _account_class_counts(res, outcome, run.effective_length, comp, n)
+            res.length_delta_histogram[
+                comp.original_length - run.effective_length
+            ] += n
+            baseline_run = _shared_baseline_run(comp, ldpreds, pattern, machine)
+            res.cycles_baseline += baseline_run.effective_length * n
+            res.baseline_compensation_cycles += baseline_run.compensation_cycles * n
+            res.baseline_branch_cycles += baseline_run.branch_cycles * n
+            res.baseline_icache_cycles += baseline_run.icache_cycles * n
+            if collect_cycles:
+                stack = cycle_stacks["baseline"]
+                _charge_scaled(stack, _shared_baseline_attribution(comp), n)
+                for cause, cycles in (
+                    ("reexec", baseline_run.compensation_cycles),
+                    ("branch_penalty", baseline_run.branch_cycles),
+                    ("icache_miss", baseline_run.icache_cycles),
+                ):
+                    if cycles:
+                        stack[cause] = stack.get(cause, 0) + cycles * n
+            squash_run = _shared_squash_run(comp, ldpreds, pattern, machine)
+            res.cycles_squash += squash_run.effective_length * n
+            if squash_run.squashed:
+                res.squashed_instances += n
+
+
 class _SimulationObserver:
     """Interpreter observer driving all three machine accountings."""
 
@@ -157,10 +376,16 @@ class _SimulationObserver:
         confidence: Optional[ConfidenceEstimator] = None,
         metrics: MetricsRegistry = NULL_METRICS,
         collect_cycles: bool = False,
+        counts: Optional[SimCounts] = None,
     ):
         self.compilation = compilation
         self.predictor = predictor
         self.result = result
+        # Counts mode (every non-icache run): the observer only records
+        # sufficient statistics; _fold_counts does all accounting after
+        # the run.  Icache modelling keeps the legacy per-instance path
+        # because cache state depends on the dynamic fetch sequence.
+        self.counts = counts
         self.machine = compilation.machine
         self.table = table
         self.confidence = confidence
@@ -244,7 +469,14 @@ class _SimulationObserver:
             prediction = self.predictor.predict(op.op_id)
         correct = prediction is not None and _values_equal(prediction, result)
         self._outcomes[op.op_id] = correct
-        if self.metrics.enabled:
+        if self.counts is not None:
+            if correct:
+                self.counts.hits += 1
+            else:
+                self.counts.misses += 1
+            if prediction is None:
+                self.counts.no_predictions += 1
+        elif self.metrics.enabled:
             self.metrics.inc(
                 "predict.hit" if correct else "predict.miss",
                 label=self._predictor_label,
@@ -285,8 +517,8 @@ class _SimulationObserver:
         """
         cached = self._original_attr.get(comp.label)
         if cached is None:
-            schedule = ListScheduler(self.machine).schedule_block(
-                self.compilation.program.main.block(comp.label)
+            schedule = compile_cache.original_schedule(
+                self.compilation.program.main.block(comp.label), self.machine
             )
             assert schedule.length == comp.original_length, (
                 f"block {comp.label!r}: rebuilt original schedule is "
@@ -310,6 +542,20 @@ class _SimulationObserver:
     def _finish_instance(self) -> None:
         comp = self._current
         if comp is None:
+            return
+        if self.counts is not None:
+            c = self.counts
+            if not comp.speculated:
+                c.nonspec[comp.label] = c.nonspec.get(comp.label, 0) + 1
+            elif self._gated:
+                c.gated[comp.label] = c.gated.get(comp.label, 0) + 1
+            else:
+                pattern = tuple(
+                    self._outcomes.get(load_id, False)
+                    for load_id in comp.predicted_load_ids
+                )
+                per = c.patterns.setdefault(comp.label, {})
+                per[pattern] = per.get(pattern, 0) + 1
             return
         res = self.result
         res.dynamic_blocks += 1
@@ -459,6 +705,7 @@ def simulate_program(
     collect_metrics: bool = False,
     collect_cycles: bool = False,
     trace=None,
+    batch=None,
 ) -> ProgramSimResult:
     """Execute the program once, timing all three machines.
 
@@ -497,6 +744,18 @@ def simulate_program(
             The trace must cover every predicted load of the
             compilation; :class:`~repro.trace.TraceMismatch` is raised
             otherwise.
+        batch: opt into the batched struct-of-arrays engine
+            (:mod:`repro.batchsim`).  Pass a
+            :class:`~repro.batchsim.context.BatchContext` to share trace
+            decodes and predictor outcome columns across the points of a
+            sweep, or ``True`` for the process-wide default context.
+            The batched engine runs only when this simulation is on the
+            common path (trace-driven, machine-spec predictor, unbounded
+            table, no confidence gating, no icache) *and* NumPy is
+            available with ``REPRO_NO_BATCH`` unset; anything else falls
+            back to the scalar engine.  Results are byte-identical
+            either way — both engines reduce the run to
+            :class:`SimCounts` and share one accounting fold.
     """
     result = ProgramSimResult(
         program_name=compilation.program.name,
@@ -520,20 +779,11 @@ def simulate_program(
         if table_capacity is not None
         else None
     )
-    observer = _SimulationObserver(
-        compilation,
-        base_predictor,
-        result,
-        model_icache=model_icache,
-        icache_config=icache_config,
-        table=table,
-        confidence=confidence,
-        metrics=registry,
-        collect_cycles=collect_cycles,
+    predictor_label = (
+        f"table:{base_predictor.name}" if table is not None else base_predictor.name
     )
     if trace is not None:
         from repro.trace.format import TRACED_OPCODES, TraceMismatch
-        from repro.trace.replay import replay_trace
 
         # Static coverage check: replay only notifies traced ops, so
         # every load (or ALU op) the compilation predicts must be in the
@@ -554,26 +804,93 @@ def simulate_program(
                     f"block {label!r} of {compilation.program.name!r} "
                     f"predicts untraced operation(s) {sorted(missing)}"
                 )
-        replay_trace(
-            trace,
-            compilation.program,
-            observers=[observer],
-            max_operations=max_operations,
+
+    counts_mode = not model_icache
+    cycle_stacks: Dict[str, Dict[str, int]] = {
+        "nopred": {},
+        "proposed": {},
+        "baseline": {},
+    }
+    batched = False
+    if batch is not None and counts_mode:
+        from repro.batchsim.engine import batch_counts, unsupported_reason
+
+        if (
+            unsupported_reason(
+                predictor=predictor,
+                table=table,
+                confidence=confidence,
+                model_icache=model_icache,
+                trace=trace,
+            )
+            is None
+        ):
+            from repro.batchsim.context import resolve_context
+
+            sim_counts = batch_counts(
+                compilation, trace, resolve_context(batch), max_operations
+            )
+            _fold_counts(
+                compilation,
+                sim_counts,
+                result,
+                registry,
+                collect_cycles,
+                cycle_stacks,
+                predictor_label,
+            )
+            batched = True
+
+    observer = None
+    if not batched:
+        sim_counts = SimCounts() if counts_mode else None
+        observer = _SimulationObserver(
+            compilation,
+            base_predictor,
+            result,
+            model_icache=model_icache,
+            icache_config=icache_config,
+            table=table,
+            confidence=confidence,
+            metrics=registry,
+            collect_cycles=collect_cycles,
+            counts=sim_counts,
         )
-    else:
-        Interpreter(max_operations=max_operations).run(
-            compilation.program, observers=[observer]
-        )
-    observer.finish()
-    if table is not None:
-        result.table_tag_misses = table.tag_misses
+        if trace is not None:
+            from repro.trace.replay import replay_trace
+
+            replay_trace(
+                trace,
+                compilation.program,
+                observers=[observer],
+                max_operations=max_operations,
+            )
+        else:
+            Interpreter(max_operations=max_operations).run(
+                compilation.program, observers=[observer]
+            )
+        observer.finish()
+        if table is not None:
+            result.table_tag_misses = table.tag_misses
+        if counts_mode:
+            _fold_counts(
+                compilation,
+                sim_counts,
+                result,
+                registry,
+                collect_cycles,
+                cycle_stacks,
+                predictor_label,
+            )
+        else:
+            cycle_stacks = observer.cycle_stacks
     if collect_cycles:
         totals = {
             "nopred": result.cycles_nopred,
             "proposed": result.cycles_proposed,
             "baseline": result.cycles_baseline,
         }
-        for model, stack in observer.cycle_stacks.items():
+        for model, stack in cycle_stacks.items():
             # The hard program-level invariant: every simulated cycle of
             # every machine is attributed to exactly one cause.
             attributed = sum(stack.values())
@@ -584,7 +901,7 @@ def simulate_program(
             )
         result.cycle_stacks = {
             model: dict(sorted(stack.items()))
-            for model, stack in observer.cycle_stacks.items()
+            for model, stack in cycle_stacks.items()
         }
     if registry.enabled:
         if result.cycle_stacks:

@@ -107,12 +107,17 @@ def schedule_speculative(
     machine: MachineDescription,
     original_length: Optional[int] = None,
     priority: str = "height",
+    analysis=None,
 ) -> SpeculativeSchedule:
-    """List-schedule a transformed block and attach run-time annotations."""
+    """List-schedule a transformed block and attach run-time annotations.
+
+    ``analysis`` optionally supplies a precomputed critical-path
+    analysis of ``spec.graph`` (see ``ListScheduler.schedule_graph``).
+    """
     scheduler = ListScheduler(machine, priority=priority)
     if original_length is None:
         original_length = scheduler.schedule_block(spec.original).length
-    schedule = scheduler.schedule_graph(spec.label, spec.graph)
+    schedule = scheduler.schedule_graph(spec.label, spec.graph, analysis=analysis)
 
     wait_bits: Dict[int, set] = {}
     for placed in schedule.operations:

@@ -42,16 +42,60 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-from repro.ddg.builder import build_ddg
-from repro.ddg.critical_path import analyze
 from repro.ddg.graph import DepKind, DependenceGraph
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
 from repro.ir.operation import Operation, Reg
 from repro.machine.description import MachineDescription
 from repro.profiling.value_profile import ValueProfile
+from repro.core import compile_cache
 from repro.core.isa_ext import OpForm, SpecOpInfo, SpeculativeBlock
 from repro.core.sync_register import SyncBitAllocator, SyncRegisterOverflow
+
+
+#: Dependence graphs and critical-path analyses depend on the machine
+#: only through its latency table, so the memos live in
+#: :mod:`repro.core.compile_cache` keyed on the latency fingerprint and
+#: are shared across resource (issue width / FU count) variants.
+_shared_ddg = compile_cache.shared_ddg
+_shared_analysis = compile_cache.shared_analysis
+
+
+def _shared_transform(
+    block: BasicBlock,
+    machine: MachineDescription,
+    predicted_loads: Sequence[Operation],
+    live_out: FrozenSet[Reg],
+    config: "SpeculationConfig",
+) -> SpeculativeBlock:
+    """Memoised :func:`transform_block`.
+
+    The rewrite depends on the *ordered* prediction set (Sync bits are
+    allocated in that order), the live-out set and the two config knobs
+    the transform reads (``sync_width``, ``speculate_liveout``) —
+    thresholds and profile filters affect only *selection*, so sweeps
+    over them share every trial transform.  Of the machine it reads only
+    the latency table (LdPred/check latencies enter the rewired edge
+    weights) and ``sync_width``, so resource variants share transforms
+    too; the resource-dependent *schedules* of a shared transform stay
+    keyed on the full machine fingerprint.
+    """
+    key = (
+        "xform",
+        compile_cache.latency_fingerprint(machine),
+        machine.sync_width,
+        tuple(op.op_id for op in predicted_loads),
+        live_out,
+        config.sync_width,
+        config.speculate_liveout,
+    )
+    return compile_cache.cached(
+        block,
+        key,
+        lambda: transform_block(
+            block, machine, predicted_loads, live_out=live_out, config=config
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -110,7 +154,7 @@ def transform_block(
     force specific prediction sets.
     """
     config = config or SpeculationConfig()
-    original_graph = build_ddg(block, machine)
+    original_graph = _shared_ddg(block, machine)
     block_ids = {op.op_id for op in block.operations}
     for op in predicted_loads:
         if op.op_id not in block_ids:
@@ -409,12 +453,12 @@ def candidate_loads(
     current choices are filtered out.
     """
     if already:
-        spec = transform_block(block, machine, already, live_out=live_out, config=config)
+        spec = _shared_transform(block, machine, already, live_out, config)
         graph, forms = spec.graph, spec.info
     else:
-        graph = build_ddg(block, machine)
+        graph = _shared_ddg(block, machine)
         forms = None
-    analysis = analyze(graph, machine)
+    analysis = _shared_analysis(block, graph, machine)
     chosen_ids = {op.op_id for op in already}
 
     def qualifies(op: Operation) -> bool:
@@ -450,6 +494,37 @@ def candidate_loads(
     return out
 
 
+def _eligible_ops(
+    block: BasicBlock,
+    machine: MachineDescription,
+    profile: ValueProfile,
+    config: SpeculationConfig,
+) -> List[int]:
+    """Op ids that pass the profile/qualification filters of
+    :func:`candidate_loads`, over the whole block.
+
+    The threshold and ``min_profile_executions`` enter greedy selection
+    *only* through this set (candidate rounds filter against the same
+    predicates), so it is a sufficient cache key component: two configs
+    with equal eligible sets produce identical selections.
+    """
+    out: List[int] = []
+    for op in block.operations:
+        qualifies = op.is_load or (
+            config.predict_alu
+            and _predictable(op)
+            and machine.latency(op.opcode) >= 3
+        )
+        if not qualifies:
+            continue
+        if profile.executions(op.op_id) < config.min_profile_executions:
+            continue
+        if profile.rate(op.op_id) < config.threshold:
+            continue
+        out.append(op.op_id)
+    return out
+
+
 def speculate_block(
     block: BasicBlock,
     machine: MachineDescription,
@@ -465,15 +540,58 @@ def speculate_block(
     predictable load while the resource-constrained schedule length
     strictly improves — which is also what makes wider machines speculate
     more (they have the slots to absorb the LdPred/check overhead).
-    """
-    from repro.sched.list_scheduler import ListScheduler
-    from repro.core.cc_engine import SimulationDeadlock
-    from repro.core.machine_sim import simulate_all_outcomes
-    from repro.core.specsched import schedule_speculative
 
+    Selection is memoised process-wide, keyed on everything it actually
+    depends on: machine fingerprint, the profile-eligible op set (the
+    only way threshold/profile enter), live-out set and the pass config
+    — so threshold sweeps that agree on eligibility share one greedy
+    run, and its trial transforms/schedules, outright.
+    """
     config = config or SpeculationConfig()
-    scheduler = ListScheduler(machine)
-    original_length = scheduler.schedule_block(block).length
+    fp = compile_cache.machine_fingerprint(machine)
+    eligible = frozenset(_eligible_ops(block, machine, profile, config))
+    rest = (
+        live_out,
+        config.max_predictions,
+        config.sync_width,
+        config.speculate_liveout,
+        config.predict_alu,
+    )
+    key = ("spec", fp, tuple(sorted(eligible))) + rest
+
+    def compute():
+        # Superset reuse: greedy evaluates candidates independently and
+        # keeps round winners, so for eligible sets S = greedy(E) and
+        # S ⊆ E' ⊆ E, greedy(E') runs the identical rounds — every
+        # round's winner is in E', and the removed candidates were
+        # losers whose absence changes no argmax and no termination
+        # test.  Threshold sweeps hit this constantly: a higher
+        # threshold shrinks eligibility but usually keeps the selection.
+        index = compile_cache.cached(block, ("specidx", fp) + rest, list)
+        for known_eligible, selection, result in index:
+            if selection <= eligible <= known_eligible:
+                return result
+        result = _speculate_block_impl(block, machine, profile, live_out, config)
+        if result is None:
+            selection = frozenset()
+        else:
+            selection = frozenset(
+                result.predicted_load_of[l] for l in result.ldpred_ids
+            )
+        index.append((eligible, selection, result))
+        return result
+
+    return compile_cache.cached(block, key, compute)
+
+
+def _speculate_block_impl(
+    block: BasicBlock,
+    machine: MachineDescription,
+    profile: ValueProfile,
+    live_out: FrozenSet[Reg],
+    config: SpeculationConfig,
+) -> Optional[SpeculativeBlock]:
+    original_length = compile_cache.original_schedule(block, machine).length
     current_length = original_length
 
     chosen: List[Operation] = []
@@ -490,11 +608,19 @@ def speculate_block(
         round_best: Optional[tuple[int, List[Operation], SpeculativeBlock]] = None
         for cand in candidates:
             trial_set = chosen + [cand]
-            trial = transform_block(
-                block, machine, trial_set, live_out=live_out, config=config
-            )
-            spec_schedule = schedule_speculative(
-                trial, machine, original_length=original_length
+            trial = _shared_transform(block, machine, trial_set, live_out, config)
+            # Dependence-height lower bound: resource constraints only
+            # ever lengthen a list schedule, so a transform whose
+            # critical path is already no shorter than the incumbent
+            # cannot yield an improving schedule — skip the (much more
+            # expensive) resource-constrained scheduling outright.  The
+            # filters below would reject exactly the same candidates,
+            # so selection is unchanged.
+            target = current_length if round_best is None else round_best[0]
+            if _shared_analysis(block, trial.graph, machine).length >= target:
+                continue
+            spec_schedule = compile_cache.speculative_schedule(
+                trial, machine, original_length
             )
             if spec_schedule.length >= current_length:
                 continue
@@ -503,9 +629,7 @@ def speculate_block(
             # Validate every outcome pattern: a prediction set whose
             # schedule could leave the engines without forward progress
             # (see the deadlock discussion above) is rejected outright.
-            try:
-                simulate_all_outcomes(spec_schedule)
-            except SimulationDeadlock:
+            if not compile_cache.schedule_validated(spec_schedule):
                 continue
             round_best = (spec_schedule.length, trial_set, trial)
         if round_best is None:

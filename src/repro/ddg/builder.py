@@ -58,14 +58,16 @@ def build_ddg(
         return (base, base_epoch.get(base, 0), op.offset)
 
     for op in ops:
+        uses = list(op.uses())
+        defs = list(op.defs())
         # Register flow dependences: use after the most recent def.
-        for reg in op.uses():
+        for reg in uses:
             producer = last_def.get(reg)
             if producer is not None:
                 graph.add_edge(producer, op, DepKind.FLOW, machine.latency(producer.opcode))
 
         # Register anti/output dependences.
-        for reg in op.defs():
+        for reg in defs:
             for reader in last_uses.get(reg, ()):
                 if reader.op_id != op.op_id:
                     graph.add_edge(reader, op, DepKind.ANTI, 0)
@@ -104,9 +106,9 @@ def build_ddg(
                     graph.add_edge(other, op, DepKind.CONTROL, 0)
 
         # Bookkeeping after edges are drawn.
-        for reg in op.uses():
+        for reg in uses:
             last_uses.setdefault(reg, []).append(op)
-        for reg in op.defs():
+        for reg in defs:
             last_def[reg] = op
             last_uses[reg] = []
             if disambiguate:

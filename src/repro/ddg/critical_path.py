@@ -46,15 +46,19 @@ def analyze(graph: DependenceGraph, machine: MachineDescription) -> PathAnalysis
     earliest: Dict[int, int] = {}
     for op in order:
         est = 0
-        for edge in graph.predecessors(op.op_id):
-            est = max(est, earliest[edge.src] + edge.weight)
+        for edge in graph.pred_edges(op.op_id):
+            cand = earliest[edge.src] + edge.weight
+            if cand > est:
+                est = cand
         earliest[op.op_id] = est
 
     height: Dict[int, int] = {}
     for op in reversed(order):
         h = machine.latency(op.opcode)
-        for edge in graph.successors(op.op_id):
-            h = max(h, edge.weight + height[edge.dst])
+        for edge in graph.succ_edges(op.op_id):
+            cand = edge.weight + height[edge.dst]
+            if cand > h:
+                h = cand
         height[op.op_id] = h
 
     length = 0

@@ -90,6 +90,21 @@ class DependenceGraph:
     def predecessors(self, op_id: int) -> List[DepEdge]:
         return list(self._preds[op_id])
 
+    def succ_edges(self, op_id: int) -> List[DepEdge]:
+        """The successor edge list itself, *not* a copy — read-only.
+
+        The list scheduler and critical-path analysis walk every edge of
+        every block of every sweep point; the defensive copies of
+        :meth:`successors` are measurable there.  Callers must not
+        mutate the returned list.
+        """
+        return self._succs[op_id]
+
+    def pred_edges(self, op_id: int) -> List[DepEdge]:
+        """Read-only view of the predecessor edge list (see
+        :meth:`succ_edges`)."""
+        return self._preds[op_id]
+
     def edges(self) -> Iterator[DepEdge]:
         for op_id in self._order:
             yield from self._succs[op_id]

@@ -138,6 +138,40 @@ EXPERIMENT_NEEDS: Dict[str, Tuple[Tuple[str, str, bool, bool], ...]] = {
 }
 
 
+# -- process-wide shared build/profile products ------------------------------
+#
+# A sweep constructs one Evaluation per point, but the build and profile
+# stages depend only on (benchmark, scale, pipeline) — not on the
+# machine or speculation knobs being swept.  Sharing them process-wide
+# means every point of a runner-less sweep sees the *same* Program
+# object graph, which in turn lets the identity-keyed per-block compile
+# memos (:mod:`repro.core.compile_cache`) and the batched simulation
+# context (:mod:`repro.batchsim`) hit across points.  Pure memos:
+# ``load_benchmark``/``run_program_passes``/``profile_program`` are
+# deterministic, so results are byte-identical with sharing off
+# (``REPRO_NO_BATCH=1``).  ``repro.batchsim.reset_shared_state`` clears
+# these together with the other process-wide caches.
+
+_SHARED_PROGRAMS: Dict[Tuple[str, float, Optional[str]], Program] = {}
+_SHARED_PROFILES: Dict[Tuple[str, float, Optional[str]], ProfileData] = {}
+
+
+def reset_shared_products() -> None:
+    """Drop the process-wide build/profile memos (bench/test isolation)."""
+    _SHARED_PROGRAMS.clear()
+    _SHARED_PROFILES.clear()
+
+
+def _shared(store: Dict, key: Tuple, compute):
+    from repro.batchsim._compat import sharing_enabled
+
+    if not sharing_enabled():
+        return compute()
+    if key not in store:
+        store[key] = compute()
+    return store[key]
+
+
 class Evaluation:
     """Caching front end over profile -> compile -> simulate."""
 
@@ -214,8 +248,10 @@ class Evaluation:
                     )
                 )
             else:
-                self._programs[name] = load_benchmark(
-                    name, scale=self.settings.scale
+                self._programs[name] = _shared(
+                    _SHARED_PROGRAMS,
+                    (name, self.settings.scale, None),
+                    lambda: load_benchmark(name, scale=self.settings.scale),
                 )
         return self._programs[name]
 
@@ -229,8 +265,12 @@ class Evaluation:
                 )
             else:
                 program = self.program(name)
-                self._profiles[name] = profile_program(
-                    program, trace=self._trace_of(program)
+                self._profiles[name] = _shared(
+                    _SHARED_PROFILES,
+                    (name, self.settings.scale, None),
+                    lambda: profile_program(
+                        program, trace=self._trace_of(program), batch=True
+                    ),
                 )
         return self._profiles[name]
 
@@ -281,9 +321,13 @@ class Evaluation:
                     )
                 )
             else:
-                self._variant_programs[key] = PassManager(
-                    pipeline
-                ).run_program_passes(self.program(name))
+                self._variant_programs[key] = _shared(
+                    _SHARED_PROGRAMS,
+                    (name, self.settings.scale, pipeline.fingerprint()),
+                    lambda: PassManager(pipeline).run_program_passes(
+                        self.program(name)
+                    ),
+                )
         return self._variant_programs[key]
 
     def variant_profile(self, name: str, pipeline: PipelineConfig) -> ProfileData:
@@ -299,8 +343,12 @@ class Evaluation:
                 )
             else:
                 program = self.variant_program(name, pipeline)
-                self._variant_profiles[key] = profile_program(
-                    program, trace=self._trace_of(program)
+                self._variant_profiles[key] = _shared(
+                    _SHARED_PROFILES,
+                    (name, self.settings.scale, pipeline.fingerprint()),
+                    lambda: profile_program(
+                        program, trace=self._trace_of(program), batch=True
+                    ),
                 )
         return self._variant_profiles[key]
 
@@ -368,12 +416,20 @@ class Evaluation:
                 trace = self._trace_of(compilation.program)
                 if trace is not None:
                     try:
+                        # batch=True opts into the struct-of-arrays
+                        # engine via the process-wide context, sharing
+                        # trace decodes and predictor outcome columns
+                        # with the other points of a sweep; it falls
+                        # back to the scalar engine (byte-identically)
+                        # whenever the configuration is off the batched
+                        # common path.
                         self._simulations[key] = simulate_program(
                             compilation,
                             model_icache=model_icache,
                             collect_metrics=self.collect_metrics,
                             collect_cycles=cycles,
                             trace=trace,
+                            batch=True,
                         )
                     except TraceMismatch:
                         trace = None

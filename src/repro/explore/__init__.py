@@ -10,7 +10,11 @@ plus the resulting Pareto frontier.  ``repro-explore`` is the CLI.
 from repro.explore.cost import cost_breakdown, machine_cost, predictor_cost
 from repro.explore.driver import (
     BenchmarkResult,
+    ExploreOutcome,
     PointResult,
+    PrunedPoint,
+    SurrogateValidation,
+    explore,
     explore_points,
     pareto_frontier,
 )
@@ -30,10 +34,14 @@ __all__ = [
     "BenchmarkResult",
     "DesignPoint",
     "DesignSpace",
+    "ExploreOutcome",
     "PointResult",
+    "PrunedPoint",
     "REPORT_SCHEMA_VERSION",
+    "SurrogateValidation",
     "cost_breakdown",
     "dump_report",
+    "explore",
     "explore_points",
     "load_report",
     "machine_cost",

@@ -25,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.explore.driver import explore_points, pareto_frontier
+from repro.explore.driver import explore, pareto_frontier
 from repro.explore.report import (
     dump_report,
     plot_frontier,
@@ -125,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a cost/speedup frontier plot (needs matplotlib)",
     )
     parser.add_argument(
+        "--surrogate", action="store_true",
+        help=(
+            "rank points with the analytical cycles surrogate and "
+            "exactly simulate only the estimated Pareto frontier plus "
+            "the top candidates; pruned points are logged in the report"
+        ),
+    )
+    parser.add_argument(
+        "--surrogate-keep", type=int, default=None, metavar="N",
+        help=(
+            "with --surrogate: how many extra top-estimate points to "
+            "simulate beyond the estimated frontier (default: a quarter "
+            "of the candidates)"
+        ),
+    )
+    parser.add_argument(
         "--progress", action="store_true",
         help="print per-job progress lines to stderr",
     )
@@ -204,11 +220,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     benchmarks = _parse_benchmarks(args.benchmarks)
     try:
-        results = explore_points(
+        outcome = explore(
             points,
             scale=args.scale,
             benchmarks=benchmarks,
             runner=runner,
+            surrogate=args.surrogate,
+            surrogate_keep=args.surrogate_keep,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -217,11 +235,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner.close()
         events.close()
 
+    results = list(outcome.results)
+    if outcome.pruned:
+        for p in outcome.pruned:
+            note = (
+                f" (estimated speedup {p.estimated_speedup:.3f})"
+                if p.estimated_speedup is not None
+                else ""
+            )
+            print(
+                f"pruned [{p.reason}] {p.label}: {p.detail}{note}",
+                file=sys.stderr,
+            )
+    if outcome.surrogate is not None and outcome.surrogate.entries:
+        v = outcome.surrogate
+        status = "within" if v.within_bound else "EXCEEDS"
+        print(
+            f"surrogate cross-validation: max rel error "
+            f"{v.max_rel_error:.4f} (mean {v.mean_rel_error:.4f}) "
+            f"{status} documented bound {v.bound}",
+            file=sys.stderr,
+        )
     resolved_benchmarks = (
         [b.benchmark for b in results[0].benchmarks] if results else []
     )
     payload = report_payload(
-        space, results, scale=args.scale, benchmarks=resolved_benchmarks
+        space,
+        results,
+        scale=args.scale,
+        benchmarks=resolved_benchmarks,
+        pruned=outcome.pruned,
+        surrogate=outcome.surrogate,
     )
     text = dump_report(payload)
     if args.out:

@@ -15,6 +15,7 @@ The result layer is deliberately plain data (no live machine objects) so
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -83,6 +84,87 @@ class PointResult:
         }
 
 
+@dataclass(frozen=True)
+class PrunedPoint:
+    """One design point that was *not* exactly simulated, and why.
+
+    Reasons: ``"surrogate"`` (ranked out by the analytical estimate),
+    ``"duplicate"`` (identical machine + speculation config to an
+    earlier point), ``"error"`` (its evaluation raised).  Pruned points
+    are always recorded in the report — never silently dropped.
+    """
+
+    label: str
+    reason: str
+    detail: str
+    estimated_speedup: Optional[float] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "label": self.label,
+            "reason": self.reason,
+            "detail": self.detail,
+        }
+        if self.estimated_speedup is not None:
+            doc["estimated_speedup"] = round(self.estimated_speedup, 6)
+        return doc
+
+
+@dataclass(frozen=True)
+class SurrogateValidation:
+    """Surrogate-vs-exact cross-validation over the simulated points.
+
+    Every ``--surrogate`` run validates the estimates of the points it
+    *did* simulate exactly, so drift in the analytical model is caught
+    on every sweep, not just in CI.
+    """
+
+    bound: float
+    #: (point label, benchmark, estimated cycles, exact cycles, rel err).
+    entries: Tuple[Tuple[str, str, float, int, float], ...]
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((e[4] for e in self.entries), default=0.0)
+
+    @property
+    def mean_rel_error(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e[4] for e in self.entries) / len(self.entries)
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_rel_error <= self.bound
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "bound": self.bound,
+            "max_rel_error": round(self.max_rel_error, 6),
+            "mean_rel_error": round(self.mean_rel_error, 6),
+            "within_bound": self.within_bound,
+            "entries": [
+                {
+                    "label": label,
+                    "benchmark": benchmark,
+                    "estimated_cycles": round(estimated, 2),
+                    "exact_cycles": exact,
+                    "rel_error": round(err, 6),
+                }
+                for label, benchmark, estimated, exact, err in self.entries
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ExploreOutcome:
+    """Everything one sweep produced: exact results + pruning log."""
+
+    results: Tuple[PointResult, ...]
+    pruned: Tuple[PrunedPoint, ...] = ()
+    surrogate: Optional[SurrogateValidation] = None
+
+
 def _evaluation_for(
     point: DesignPoint,
     scale: float,
@@ -128,41 +210,263 @@ def explore_points(
     for point, evaluation in zip(points, evaluations):
         if progress is not None:
             progress(point)
-        bench_results: List[BenchmarkResult] = []
-        merged = CPIStack.of({})
-        for name in evaluation.benchmarks:
-            sim = evaluation.simulation(name, evaluation.machine_for("base"))
-            stacks = getattr(sim, "cycle_stacks", None)
-            if stacks and "proposed" in stacks:
-                merged = merged.merged(CPIStack.of(stacks["proposed"]))
-            bench_results.append(
-                BenchmarkResult(
-                    benchmark=name,
-                    speedup=sim.speedup_proposed,
-                    speedup_baseline=sim.speedup_baseline,
-                    accuracy=sim.prediction_accuracy,
-                    cycles_nopred=sim.cycles_nopred,
-                    cycles_proposed=sim.cycles_proposed,
-                )
-            )
-        results.append(
-            PointResult(
-                label=point.label,
-                machine_name=point.spec.name,
-                fingerprint=point.fingerprint(),
-                assignment=point.assignment,
-                cost=machine_cost(point.spec),
-                speedup=geometric_mean([b.speedup for b in bench_results]),
-                accuracy=(
-                    sum(b.accuracy for b in bench_results) / len(bench_results)
-                    if bench_results
-                    else 0.0
-                ),
-                benchmarks=tuple(bench_results),
-                bottleneck=merged.dominant() or "unknown",
+        results.append(_point_result(point, evaluation))
+    return results
+
+
+def _point_result(point: DesignPoint, evaluation: Evaluation) -> PointResult:
+    """Exactly simulate one point's benchmarks and reduce to a result."""
+    bench_results: List[BenchmarkResult] = []
+    merged = CPIStack.of({})
+    for name in evaluation.benchmarks:
+        sim = evaluation.simulation(name, evaluation.machine_for("base"))
+        stacks = getattr(sim, "cycle_stacks", None)
+        if stacks and "proposed" in stacks:
+            merged = merged.merged(CPIStack.of(stacks["proposed"]))
+        bench_results.append(
+            BenchmarkResult(
+                benchmark=name,
+                speedup=sim.speedup_proposed,
+                speedup_baseline=sim.speedup_baseline,
+                accuracy=sim.prediction_accuracy,
+                cycles_nopred=sim.cycles_nopred,
+                cycles_proposed=sim.cycles_proposed,
             )
         )
-    return results
+    return PointResult(
+        label=point.label,
+        machine_name=point.spec.name,
+        fingerprint=point.fingerprint(),
+        assignment=point.assignment,
+        cost=machine_cost(point.spec),
+        speedup=geometric_mean([b.speedup for b in bench_results]),
+        accuracy=(
+            sum(b.accuracy for b in bench_results) / len(bench_results)
+            if bench_results
+            else 0.0
+        ),
+        benchmarks=tuple(bench_results),
+        bottleneck=merged.dominant() or "unknown",
+    )
+
+
+def _estimated_frontier(
+    estimates: Dict[str, float], costs: Dict[str, float]
+) -> set:
+    """Labels on the cost/estimated-speedup Pareto frontier."""
+    frontier = set()
+    best = float("-inf")
+    for label in sorted(
+        estimates, key=lambda l: (costs[l], -estimates[l], l)
+    ):
+        if estimates[label] > best:
+            best = estimates[label]
+            frontier.add(label)
+    return frontier
+
+
+def explore(
+    points: Sequence[DesignPoint],
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    runner=None,
+    progress=None,
+    surrogate: bool = False,
+    surrogate_keep: Optional[int] = None,
+) -> ExploreOutcome:
+    """Evaluate a sweep with dedup, error capture and optional pruning.
+
+    Unlike :func:`explore_points` (kept for callers that want the plain
+    one-result-per-point list and fail-fast errors), this entry point:
+
+    - skips points whose (machine fingerprint, speculation config) pair
+      duplicates an earlier point — the evaluation stack would dedupe
+      their jobs anyway, so the duplicate row carries no information;
+    - records a point whose evaluation *raises* as pruned with reason
+      ``"error"`` instead of aborting the whole sweep;
+    - with ``surrogate=True``, compiles every candidate, ranks them by
+      the analytical cycles estimate (:mod:`repro.batchsim.surrogate`),
+      and exactly simulates only the estimated cost/speedup Pareto
+      frontier plus the top ``surrogate_keep`` points by estimated
+      speedup (default: the top quarter).  Every survivor's estimate is
+      then cross-validated against its exact simulation.
+
+    Pruned points are returned (and serialised into the report) with
+    their reason — nothing is silently dropped.
+    """
+    pruned: List[PrunedPoint] = []
+
+    # -- dedup ----------------------------------------------------------
+    unique: List[DesignPoint] = []
+    first_of: Dict[Tuple[str, Any], str] = {}
+    for point in points:
+        key = (point.fingerprint(), point.spec_config)
+        if key in first_of:
+            pruned.append(
+                PrunedPoint(
+                    label=point.label,
+                    reason="duplicate",
+                    detail=(
+                        "identical machine and speculation config to "
+                        f"point {first_of[key]!r}"
+                    ),
+                )
+            )
+            continue
+        first_of[key] = point.label
+        unique.append(point)
+
+    evaluations = {
+        point.label: _evaluation_for(point, scale, benchmarks, runner)
+        for point in unique
+    }
+
+    # -- surrogate ranking ---------------------------------------------
+    estimates: Dict[str, float] = {}
+    estimate_details: Dict[str, Dict[str, Any]] = {}
+    candidates = list(unique)
+    if surrogate and unique:
+        from repro.batchsim.surrogate import estimate_compilation
+
+        if runner is not None:
+            from repro.runner import compile_job
+
+            jobs, seen = [], set()
+            for point in unique:
+                evaluation = evaluations[point.label]
+                for name in evaluation.benchmarks:
+                    job = compile_job(
+                        name,
+                        evaluation.machine_for("base"),
+                        scale=evaluation.settings.scale,
+                        spec_config=evaluation.settings.spec_config,
+                    )
+                    if job.key() not in seen:
+                        seen.add(job.key())
+                        jobs.append(job)
+            if jobs:
+                runner.run(jobs)
+
+        candidates = []
+        for point in unique:
+            evaluation = evaluations[point.label]
+            try:
+                per_bench = {}
+                for name in evaluation.benchmarks:
+                    per_bench[name] = estimate_compilation(
+                        evaluation.compilation(
+                            name, evaluation.machine_for("base")
+                        )
+                    )
+            except Exception as exc:
+                pruned.append(
+                    PrunedPoint(
+                        label=point.label,
+                        reason="error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            estimates[point.label] = geometric_mean(
+                [e.speedup for e in per_bench.values()]
+            )
+            estimate_details[point.label] = per_bench
+            candidates.append(point)
+
+        costs = {p.label: machine_cost(p.spec) for p in candidates}
+        keep = _estimated_frontier(estimates, costs)
+        extra = (
+            surrogate_keep
+            if surrogate_keep is not None
+            else math.ceil(len(candidates) / 4)
+        )
+        by_estimate = sorted(
+            candidates, key=lambda p: (-estimates[p.label], p.label)
+        )
+        keep.update(p.label for p in by_estimate[:extra])
+        kept = []
+        for point in candidates:
+            if point.label in keep:
+                kept.append(point)
+            else:
+                pruned.append(
+                    PrunedPoint(
+                        label=point.label,
+                        reason="surrogate",
+                        detail=(
+                            "estimated speedup ranked below the keep set "
+                            "(estimated frontier + top "
+                            f"{extra} by estimate)"
+                        ),
+                        estimated_speedup=estimates[point.label],
+                    )
+                )
+        candidates = kept
+
+    # -- exact simulation ----------------------------------------------
+    if runner is not None and candidates:
+        jobs, seen = [], set()
+        for point in candidates:
+            for job in evaluations[point.label].required_jobs(["table2"]):
+                if job.key() not in seen:
+                    seen.add(job.key())
+                    jobs.append(job)
+        if jobs:
+            runner.run(jobs)
+
+    results: List[PointResult] = []
+    validation_entries: List[Tuple[str, str, float, int, float]] = []
+    for point in candidates:
+        if progress is not None:
+            progress(point)
+        evaluation = evaluations[point.label]
+        try:
+            result = _point_result(point, evaluation)
+        except Exception as exc:
+            pruned.append(
+                PrunedPoint(
+                    label=point.label,
+                    reason="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    estimated_speedup=estimates.get(point.label),
+                )
+            )
+            continue
+        results.append(result)
+        for bench in result.benchmarks:
+            estimate = estimate_details.get(point.label, {}).get(
+                bench.benchmark
+            )
+            if estimate is None:
+                continue
+            err = (
+                abs(estimate.cycles_proposed - bench.cycles_proposed)
+                / bench.cycles_proposed
+                if bench.cycles_proposed
+                else 0.0
+            )
+            validation_entries.append(
+                (
+                    point.label,
+                    bench.benchmark,
+                    estimate.cycles_proposed,
+                    bench.cycles_proposed,
+                    err,
+                )
+            )
+
+    validation = None
+    if surrogate:
+        from repro.batchsim.surrogate import DOCUMENTED_ERROR_BOUND
+
+        validation = SurrogateValidation(
+            bound=DOCUMENTED_ERROR_BOUND, entries=tuple(validation_entries)
+        )
+    return ExploreOutcome(
+        results=tuple(results),
+        pruned=tuple(pruned),
+        surrogate=validation,
+    )
 
 
 def pareto_frontier(results: Sequence[PointResult]) -> List[PointResult]:

@@ -10,13 +10,24 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.explore.driver import PointResult, pareto_frontier
+from repro.explore.driver import (
+    PointResult,
+    PrunedPoint,
+    SurrogateValidation,
+    pareto_frontier,
+)
 from repro.explore.space import DesignSpace
 from repro.ir.printer import format_table
 
 #: Bump when the artifact shape changes.  v2 added per-point
-#: ``bottleneck`` labels from the cycle-accounting engine.
-REPORT_SCHEMA_VERSION = 2
+#: ``bottleneck`` labels from the cycle-accounting engine; v3 added the
+#: ``pruned`` section (why each skipped point was skipped:
+#: surrogate-pruned vs duplicate vs error) and the ``surrogate``
+#: cross-validation record of ``--surrogate`` sweeps.
+REPORT_SCHEMA_VERSION = 3
+
+#: Older schema versions :func:`load_report` still accepts.
+_READABLE_SCHEMAS = frozenset({2, REPORT_SCHEMA_VERSION})
 
 
 def report_payload(
@@ -24,6 +35,8 @@ def report_payload(
     results: Sequence[PointResult],
     scale: float,
     benchmarks: Sequence[str],
+    pruned: Sequence[PrunedPoint] = (),
+    surrogate: Optional[SurrogateValidation] = None,
 ) -> Dict[str, Any]:
     """The full sweep artifact as JSON-ready primitives."""
     frontier = pareto_frontier(results)
@@ -42,6 +55,8 @@ def report_payload(
             for r in results
         ],
         "frontier": [r.label for r in frontier],
+        "pruned": [p.to_json() for p in pruned],
+        "surrogate": surrogate.to_json() if surrogate is not None else None,
     }
 
 
@@ -139,12 +154,19 @@ def plot_frontier(
 
 
 def load_report(text: str) -> Dict[str, Any]:
-    """Parse + schema-check a report artifact."""
+    """Parse + schema-check a report artifact.
+
+    Reads the current schema and (read-only) v2 artifacts from before
+    the ``pruned``/``surrogate`` sections existed; missing sections are
+    filled with their empty values so readers can index unconditionally.
+    """
     payload = json.loads(text)
     schema = payload.get("schema")
-    if schema != REPORT_SCHEMA_VERSION:
+    if schema not in _READABLE_SCHEMAS:
         raise ValueError(
-            f"explore report schema v{schema} unsupported "
-            f"(this code reads v{REPORT_SCHEMA_VERSION})"
+            f"explore report schema v{schema} unsupported (this code reads "
+            f"v{REPORT_SCHEMA_VERSION} and v2)"
         )
+    payload.setdefault("pruned", [])
+    payload.setdefault("surrogate", None)
     return payload

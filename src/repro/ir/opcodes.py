@@ -194,6 +194,21 @@ _FLOAT_OPCODES = frozenset(
 )
 
 
+def _classify_fu(opcode: Opcode) -> FUClass:
+    if opcode in _FLOAT_OPCODES:
+        return FUClass.FALU
+    if opcode in MEMORY_OPCODES or opcode is Opcode.CHKPRED:
+        return FUClass.MEM
+    if opcode in BRANCH_OPCODES:
+        return FUClass.BRANCH
+    return FUClass.IALU
+
+
+#: opcode -> unit class, precomputed once — the list scheduler asks per
+#: heap pop, which makes this one of the hottest lookups in a sweep.
+_FU_CLASS: dict = {op: _classify_fu(op) for op in Opcode}
+
+
 def fu_class(opcode: Opcode) -> FUClass:
     """Functional-unit class an opcode executes on.
 
@@ -202,10 +217,4 @@ def fu_class(opcode: Opcode) -> FUClass:
     on a memory unit with compare semantics, exactly as the paper argues
     in section 3 to avoid adding functional units.
     """
-    if opcode in _FLOAT_OPCODES:
-        return FUClass.FALU
-    if opcode in MEMORY_OPCODES or opcode is Opcode.CHKPRED:
-        return FUClass.MEM
-    if opcode in BRANCH_OPCODES:
-        return FUClass.BRANCH
-    return FUClass.IALU
+    return _FU_CLASS[opcode]

@@ -68,6 +68,7 @@ class ReservationTable:
             raise ValueError("issue width must be positive")
         self._pool = pool
         self._issue_width = issue_width
+        self._limits: Dict[FUClass, int] = dict(pool.counts)
         self._used: Dict[int, Dict[FUClass, int]] = {}
         self._issued: Dict[int, int] = {}
 
@@ -75,7 +76,25 @@ class ReservationTable:
         if self._issued.get(cycle, 0) >= self._issue_width:
             return False
         used = self._used.get(cycle, {}).get(fu, 0)
-        return used < self._pool.count(fu)
+        return used < self._limits.get(fu, 0)
+
+    def try_issue(self, cycle: int, fu: FUClass) -> bool:
+        """Reserve one ``fu`` unit in ``cycle`` if both an instruction
+        slot and a unit are free; returns whether the reservation was
+        made.  One dict walk instead of the ``can_issue`` + ``issue``
+        pair — the list scheduler calls this once per heap pop."""
+        issued = self._issued.get(cycle, 0)
+        if issued >= self._issue_width:
+            return False
+        row = self._used.get(cycle)
+        if row is None:
+            row = self._used[cycle] = {}
+        used = row.get(fu, 0)
+        if used >= self._limits.get(fu, 0):
+            return False
+        row[fu] = used + 1
+        self._issued[cycle] = issued + 1
+        return True
 
     def issue(self, cycle: int, fu: FUClass) -> None:
         if not self.can_issue(cycle, fu):

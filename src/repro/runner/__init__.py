@@ -33,6 +33,8 @@ from repro.runner.jobs import (
     Job,
     JobSpec,
     adopt_program,
+    batch_simulate_job,
+    batch_simulate_spec,
     build_job,
     build_spec,
     compile_job,
@@ -67,6 +69,8 @@ __all__ = [
     "RetryPolicy",
     "Runner",
     "adopt_program",
+    "batch_simulate_job",
+    "batch_simulate_spec",
     "build_job",
     "build_spec",
     "compile_job",

@@ -67,10 +67,16 @@ from repro.machine.description import MachineDescription
 
 #: Bump whenever a pipeline stage's semantics change in a way that makes
 #: previously cached results wrong.  Part of every job key.
-CODE_VERSION = "2026.08.6"
+#: 2026.08.7: profile/simulate stages route through the batched
+#: struct-of-arrays engine (byte-identical results, but the batch
+#: context changes which memo state a worker accumulates) and the
+#: ``batch_simulate`` stage joined the registry.
+CODE_VERSION = "2026.08.7"
 
 #: The built-in pipeline stages, in dependency order.
-PIPELINE_STAGES = ("build", "trace", "profile", "compile", "simulate")
+PIPELINE_STAGES = (
+    "build", "trace", "profile", "compile", "simulate", "batch_simulate"
+)
 
 
 def _normalise_pipeline(
@@ -307,7 +313,11 @@ def _run_profile(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     trace = _maybe_trace(spec, dep_results)
     if trace is not None:
         try:
-            return profile_program(program, profile_alu=profile_alu, trace=trace)
+            # batch=True: column-wise profiling off the shared trace
+            # decode (byte-identical; scalar replay off the common path).
+            return profile_program(
+                program, profile_alu=profile_alu, trace=trace, batch=True
+            )
         except TraceMismatch:
             pass
     return profile_program(program, profile_alu=profile_alu)
@@ -344,6 +354,7 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
                 collect_metrics=collect_metrics,
                 collect_cycles=collect_cycles,
                 trace=trace,
+                batch=True,
             )
         except TraceMismatch:
             pass
@@ -355,11 +366,63 @@ def _run_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
     )
 
 
+def _run_batch_simulate(spec: JobSpec, dep_results: Dict[str, Any]) -> Any:
+    """Simulate one benchmark on B machine points in a single pass.
+
+    The job's dependencies are the B compile jobs (plus the shared
+    trace); their results arrive here together, so one worker simulates
+    all points off one trace decode through the batched engine instead
+    of B workers each decoding it.  Returns ``{machine fingerprint:
+    ProgramSimResult}`` — each entry byte-identical to the matching
+    scalar ``simulate`` job's result.
+    """
+    from repro.core.metrics import ProgramCompilation
+    from repro.core.program_sim import simulate_program
+    from repro.trace.format import TraceMismatch
+
+    compilations = sorted(
+        (v for v in dep_results.values() if isinstance(v, ProgramCompilation)),
+        key=lambda comp: comp.machine.fingerprint(),
+    )
+    wanted = spec.param("machines", ())
+    if len(compilations) != len(wanted):
+        raise RuntimeError(
+            f"{spec.job_id}: expected {len(wanted)} compile dependency "
+            f"results, got {len(compilations)}"
+        )
+    collect_metrics = bool(spec.param("collect_metrics", False))
+    collect_cycles = bool(spec.param("collect_cycles", False))
+    trace = _maybe_trace(spec, dep_results)
+    results = {}
+    for comp in compilations:
+        result = None
+        if trace is not None:
+            try:
+                result = simulate_program(
+                    comp,
+                    collect_metrics=collect_metrics,
+                    collect_cycles=collect_cycles,
+                    trace=trace,
+                    batch=True,
+                )
+            except TraceMismatch:
+                trace = None
+        if result is None:
+            result = simulate_program(
+                comp,
+                collect_metrics=collect_metrics,
+                collect_cycles=collect_cycles,
+            )
+        results[comp.machine.fingerprint()] = result
+    return results
+
+
 register_stage("build", _run_build)
 register_stage("trace", _run_trace)
 register_stage("profile", _run_profile)
 register_stage("compile", _run_compile)
 register_stage("simulate", _run_simulate)
+register_stage("batch_simulate", _run_batch_simulate)
 
 
 # -- spec/job constructors ---------------------------------------------------
@@ -452,6 +515,75 @@ def simulate_spec(
     )
 
 
+def batch_simulate_spec(
+    benchmark: str,
+    machines: Sequence[MachineDescription],
+    scale: float = 1.0,
+    spec_config: Optional[SpeculationConfig] = None,
+    collect_metrics: bool = False,
+    collect_cycles: bool = False,
+    pipeline: Optional[PipelineConfig] = None,
+) -> JobSpec:
+    """One batched simulation of ``benchmark`` over every machine point.
+
+    Keyed by the *set* of machine spec fingerprints (sorted, so machine
+    order never splits cache entries): the job's result is the whole
+    sweep slice, one :class:`ProgramSimResult` per machine, each
+    byte-identical to the corresponding scalar ``simulate`` job.
+    """
+    config = spec_config or SpeculationConfig()
+    fingerprints = tuple(sorted(m.fingerprint() for m in machines))
+    if len(set(fingerprints)) != len(fingerprints):
+        raise ValueError(
+            f"batch_simulate:{benchmark}: duplicate machine fingerprints"
+        )
+    params: Tuple[Tuple[str, Any], ...] = (("machines", fingerprints),)
+    if collect_cycles:
+        params += (("collect_cycles", True),)
+    if collect_metrics:
+        params += (("collect_metrics", True),)
+    return JobSpec(
+        "batch_simulate", benchmark, scale=scale,
+        spec_config=config, params=params,
+        pipeline=_normalise_pipeline(pipeline),
+    )
+
+
+def batch_simulate_job(
+    benchmark: str,
+    machines: Sequence[MachineDescription],
+    scale: float = 1.0,
+    spec_config: Optional[SpeculationConfig] = None,
+    collect_metrics: bool = False,
+    collect_cycles: bool = False,
+    pipeline: Optional[PipelineConfig] = None,
+) -> Job:
+    """A :func:`batch_simulate_spec` job with its compile + trace deps.
+
+    The compile dependencies carry the actual machine objects (a spec
+    fingerprint alone cannot rebuild one), so batch jobs must be
+    constructed through this helper rather than :func:`job_for`.
+    """
+    from repro.trace.store import replay_enabled
+
+    spec = batch_simulate_spec(
+        benchmark, machines, scale,
+        spec_config=spec_config,
+        collect_metrics=collect_metrics,
+        collect_cycles=collect_cycles,
+        pipeline=pipeline,
+    )
+    deps = tuple(
+        compile_spec(
+            benchmark, machine, scale,
+            spec_config=spec_config, pipeline=pipeline,
+        )
+        for machine in machines
+    )
+    deps += default_deps(spec)
+    return Job(spec, deps=deps)
+
+
 def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
     """The natural upstream specs of a built-in pipeline stage.
 
@@ -489,6 +621,12 @@ def default_deps(spec: JobSpec) -> Tuple[JobSpec, ...]:
         if with_trace:
             deps += (trace_spec(spec.benchmark, spec.scale, spec.pipeline),)
         return deps
+    if spec.stage == "batch_simulate":
+        # Only the trace dep is derivable from the spec: the compile
+        # deps need machine objects, which batch_simulate_job attaches.
+        if with_trace:
+            return (trace_spec(spec.benchmark, spec.scale, spec.pipeline),)
+        return ()
     return ()
 
 

@@ -17,7 +17,7 @@ import heapq
 from typing import Optional
 
 from repro.ddg.builder import build_ddg
-from repro.ddg.critical_path import analyze
+from repro.ddg.critical_path import PathAnalysis, analyze
 from repro.ddg.graph import DependenceGraph
 from repro.ir.block import BasicBlock
 from repro.machine.description import MachineDescription
@@ -37,30 +37,59 @@ class ListScheduler:
         self.machine = machine
         self.priority_name = priority
 
-    def schedule_graph(self, label: str, graph: DependenceGraph) -> Schedule:
-        """Produce a schedule for a pre-built dependence graph."""
+    def schedule_graph(
+        self,
+        label: str,
+        graph: DependenceGraph,
+        analysis: Optional["PathAnalysis"] = None,
+    ) -> Schedule:
+        """Produce a schedule for a pre-built dependence graph.
+
+        ``analysis`` lets callers pass a precomputed (possibly shared)
+        critical-path analysis of ``graph`` on this machine's latencies;
+        when omitted it is computed here.
+        """
         machine = self.machine
-        analysis = analyze(graph, machine)
+        if analysis is None:
+            analysis = analyze(graph, machine)
         priority: PriorityFn = PRIORITY_FACTORIES[self.priority_name](analysis)
 
         schedule = Schedule(label, machine)
         if not len(graph):
             return schedule
 
-        remaining_preds = {
-            op.op_id: len(graph.predecessors(op.op_id)) for op in graph.operations
-        }
+        # Per-op facts hoisted out of the issue loop (the loop body runs
+        # once per heap pop, which is the hottest path of a sweep).
+        operation_of: dict[int, object] = {}
+        remaining_preds: dict[int, int] = {}
         # earliest data-ready cycle given already-issued predecessors
-        ready_at = {op.op_id: 0 for op in graph.operations}
+        ready_at: dict[int, int] = {}
+        fu_of: dict[int, object] = {}
+        latency_of: dict[int, int] = {}
 
         # Max-heap of (negated priority, op_id) for ops whose preds have
         # all issued; an entry may still have ready_at in the future.
+        # Keys are unique (the priority tie-breaks on op_id), so the pop
+        # order is a pure function of the key set and heapify yields the
+        # same schedule heappush-by-push would.
         heap: list[tuple[tuple, int]] = []
         for op in graph.operations:
-            if remaining_preds[op.op_id] == 0:
-                heapq.heappush(heap, (_neg(priority(op.op_id)), op.op_id))
+            op_id = op.op_id
+            operation_of[op_id] = op
+            preds = len(graph.pred_edges(op_id))
+            remaining_preds[op_id] = preds
+            ready_at[op_id] = 0
+            fu_of[op_id] = machine.fu_class(op.opcode)
+            latency_of[op_id] = machine.latency(op.opcode)
+            if preds == 0:
+                heap.append((_neg(priority(op_id)), op_id))
+        heapq.heapify(heap)
 
         table = ReservationTable(machine.pool, machine.issue_width)
+        try_issue = table.try_issue
+        successors = graph.succ_edges
+        place = schedule.place
+        heappush, heappop = heapq.heappush, heapq.heappop
         unscheduled = len(graph)
         cycle = 0
         guard = 0
@@ -76,23 +105,24 @@ class ListScheduler:
                 deferred: list[tuple[tuple, int]] = []
                 issued_this_pass = False
                 while heap:
-                    key, op_id = heapq.heappop(heap)
-                    op = graph.operation(op_id)
-                    fu = machine.fu_class(op.opcode)
-                    if ready_at[op_id] > cycle or not table.can_issue(cycle, fu):
+                    key, op_id = heappop(heap)
+                    if ready_at[op_id] > cycle or not try_issue(cycle, fu_of[op_id]):
                         deferred.append((key, op_id))
                         continue
-                    table.issue(cycle, fu)
-                    schedule.place(op, cycle)
+                    place(operation_of[op_id], cycle, latency_of[op_id])
                     issued_this_pass = True
                     unscheduled -= 1
-                    for edge in graph.successors(op_id):
-                        ready_at[edge.dst] = max(ready_at[edge.dst], cycle + edge.weight)
-                        remaining_preds[edge.dst] -= 1
-                        if remaining_preds[edge.dst] == 0:
-                            deferred.append((_neg(priority(edge.dst)), edge.dst))
+                    for edge in successors(op_id):
+                        dst = edge.dst
+                        ready = cycle + edge.weight
+                        if ready > ready_at[dst]:
+                            ready_at[dst] = ready
+                        left = remaining_preds[dst] - 1
+                        remaining_preds[dst] = left
+                        if left == 0:
+                            deferred.append((_neg(priority(dst)), dst))
                 for item in deferred:
-                    heapq.heappush(heap, item)
+                    heappush(heap, item)
                 if not issued_this_pass:
                     break
             cycle += 1

@@ -68,8 +68,20 @@ def _operand_key(operand: Union[Reg, Imm]):
     return ["reg", operand.name]
 
 
+#: id(program) -> (program, digest).  Identity memo: the entry pins the
+#: program, so the id cannot be recycled while it lives.  Programs are
+#: immutable once built (the pass managers always rebuild), so the
+#: digest of a given object never changes.  Cleared alongside the other
+#: process-wide memos by ``repro.batchsim.reset_shared_state``.
+_DIGESTS: Dict[int, Tuple[Program, str]] = {}
+
+
+def reset_digest_memo() -> None:
+    _DIGESTS.clear()
+
+
 def program_digest(program: Program) -> str:
-    """Structural content hash of a program.
+    """Structural content hash of a program (memoised per object).
 
     Covers everything that determines the architectural run — function
     and block structure, opcodes, operands, offsets, branch targets, and
@@ -77,6 +89,12 @@ def program_digest(program: Program) -> str:
     ids, so two builds of the same workload (whose ids depend on global
     counter state) share one trace.
     """
+    from repro.batchsim._compat import sharing_enabled
+
+    if sharing_enabled():
+        entry = _DIGESTS.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
     doc = {
         "name": program.name,
         "main": program.main_name,
@@ -107,7 +125,10 @@ def program_digest(program: Program) -> str:
         "memory": sorted(program.initial_memory.items()),
     }
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    if sharing_enabled():
+        _DIGESTS[id(program)] = (program, digest)
+    return digest
 
 
 def block_signature(block) -> Tuple[str, ...]:

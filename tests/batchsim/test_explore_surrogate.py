@@ -1,0 +1,187 @@
+"""Surrogate-pruned explore sweeps: nothing is ever silently dropped.
+
+``explore`` layers three behaviours over the plain per-point loop —
+dedup, error capture, surrogate pruning — and all three must account
+for every input point either as a result or as a ``PrunedPoint`` with a
+reason.  Survivor results must be byte-identical to what a full sweep
+would have produced for the same points, and the cross-validation of
+the survivors' estimates must sit inside the documented bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batchsim.surrogate import DOCUMENTED_ERROR_BOUND
+from repro.explore.driver import explore, explore_points
+from repro.explore.report import (
+    REPORT_SCHEMA_VERSION,
+    dump_report,
+    load_report,
+    report_payload,
+)
+from repro.explore.space import Axis, DesignSpace
+from repro.machine.configs import PLAYDOH_4W_SPEC
+
+SCALE = 0.05
+BENCHMARKS = ["compress"]
+
+
+@pytest.fixture(scope="module")
+def space():
+    axes = (Axis.parse("issue_width=2,4"), Axis.parse("threshold=0.5,0.8"))
+    return DesignSpace(base=PLAYDOH_4W_SPEC, axes=axes)
+
+
+@pytest.fixture(scope="module")
+def surrogate_outcome(space):
+    return explore(
+        space.grid(),
+        scale=SCALE,
+        benchmarks=BENCHMARKS,
+        surrogate=True,
+    )
+
+
+class TestAccounting:
+    def test_every_point_is_result_or_pruned(self, space, surrogate_outcome):
+        points = space.grid()
+        labels = {p.label for p in points}
+        seen = {r.label for r in surrogate_outcome.results} | {
+            p.label for p in surrogate_outcome.pruned
+        }
+        assert seen == labels
+        assert len(surrogate_outcome.results) + len(
+            surrogate_outcome.pruned
+        ) == len(points)
+
+    def test_pruned_points_carry_reason_and_estimate(self, surrogate_outcome):
+        for pruned in surrogate_outcome.pruned:
+            assert pruned.reason == "surrogate"
+            assert pruned.detail
+            assert pruned.estimated_speedup is not None
+
+    def test_keep_rule_retains_at_least_top_quarter(
+        self, space, surrogate_outcome
+    ):
+        # frontier + top ceil(n/4) by estimate: never an empty survivor set.
+        assert len(surrogate_outcome.results) >= 1
+
+    def test_duplicates_prune_with_reason(self, space):
+        points = space.grid()
+        outcome = explore(
+            list(points) + list(points), scale=SCALE, benchmarks=BENCHMARKS
+        )
+        dupes = [p for p in outcome.pruned if p.reason == "duplicate"]
+        assert len(dupes) == len(points)
+        assert len(outcome.results) == len(points)
+        for pruned in dupes:
+            assert "identical machine and speculation config" in pruned.detail
+
+    def test_evaluation_errors_prune_not_raise(self, space):
+        """A point whose simulation raises (fatally small CCB) becomes a
+        pruned row with the exception, not an aborted sweep."""
+        doomed = DesignSpace(
+            base=PLAYDOH_4W_SPEC,
+            axes=(Axis.parse("ccb_capacity=1"), Axis.parse("threshold=0.5")),
+        )
+        points = list(doomed.grid()) + list(space.grid())
+        outcome = explore(points, scale=SCALE, benchmarks=BENCHMARKS)
+        errors = [p for p in outcome.pruned if p.reason == "error"]
+        assert len(errors) == 1
+        assert "CCB" in errors[0].detail
+        # The healthy points still simulated.
+        assert len(outcome.results) == len(space.grid())
+
+
+class TestSurvivorParity:
+    def test_survivors_match_unpruned_sweep(self, space, surrogate_outcome):
+        """Pruning changes *which* points are simulated, never what a
+        simulated point reports."""
+        full = {
+            r.label: r
+            for r in explore_points(
+                space.grid(), scale=SCALE, benchmarks=BENCHMARKS
+            )
+        }
+        for result in surrogate_outcome.results:
+            assert json.dumps(result.to_json(), sort_keys=True) == json.dumps(
+                full[result.label].to_json(), sort_keys=True
+            )
+
+
+class TestValidation:
+    def test_cross_validation_present_and_bounded(self, surrogate_outcome):
+        validation = surrogate_outcome.surrogate
+        assert validation is not None
+        assert validation.bound == DOCUMENTED_ERROR_BOUND
+        assert validation.entries  # every survivor benchmark validated
+        assert validation.within_bound
+        assert validation.max_rel_error <= DOCUMENTED_ERROR_BOUND
+
+    def test_validation_covers_every_survivor_benchmark(
+        self, surrogate_outcome
+    ):
+        validated = {(label, bench) for label, bench, *_ in
+                     surrogate_outcome.surrogate.entries}
+        expected = {
+            (r.label, b.benchmark)
+            for r in surrogate_outcome.results
+            for b in r.benchmarks
+        }
+        assert validated == expected
+
+    def test_no_surrogate_means_no_validation(self, space):
+        outcome = explore(space.grid(), scale=SCALE, benchmarks=BENCHMARKS)
+        assert outcome.surrogate is None
+        assert not [p for p in outcome.pruned if p.reason == "surrogate"]
+
+
+class TestReportRoundTrip:
+    def test_v3_payload_round_trips(self, space, surrogate_outcome):
+        payload = report_payload(
+            space,
+            surrogate_outcome.results,
+            SCALE,
+            BENCHMARKS,
+            pruned=surrogate_outcome.pruned,
+            surrogate=surrogate_outcome.surrogate,
+        )
+        loaded = load_report(dump_report(payload))
+        assert loaded["schema"] == REPORT_SCHEMA_VERSION
+        assert {p["reason"] for p in loaded["pruned"]} <= {
+            "duplicate", "error", "surrogate"
+        }
+        assert loaded["surrogate"]["within_bound"] is True
+        assert loaded["surrogate"]["bound"] == DOCUMENTED_ERROR_BOUND
+        assert len(loaded["points"]) == len(surrogate_outcome.results)
+
+    def test_v2_artifacts_still_load(self, space, surrogate_outcome):
+        payload = report_payload(
+            space, surrogate_outcome.results, SCALE, BENCHMARKS
+        )
+        payload["schema"] = 2
+        del payload["pruned"]
+        del payload["surrogate"]
+        loaded = load_report(dump_report(payload))
+        assert loaded["pruned"] == []
+        assert loaded["surrogate"] is None
+
+    def test_dump_is_deterministic(self, space, surrogate_outcome):
+        kwargs = dict(
+            pruned=surrogate_outcome.pruned,
+            surrogate=surrogate_outcome.surrogate,
+        )
+        a = dump_report(
+            report_payload(
+                space, surrogate_outcome.results, SCALE, BENCHMARKS, **kwargs
+            )
+        )
+        b = dump_report(
+            report_payload(
+                space, surrogate_outcome.results, SCALE, BENCHMARKS, **kwargs
+            )
+        )
+        assert a == b

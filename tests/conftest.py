@@ -8,6 +8,23 @@ from repro.ir.builder import FunctionBuilder, ProgramBuilder
 from repro.machine.configs import PLAYDOH_4W, PLAYDOH_8W, UNLIMITED
 
 
+@pytest.fixture(autouse=True)
+def _reset_shared_state():
+    """Isolate tests from the process-wide sweep-sharing caches.
+
+    The batched simulation context, the per-block compile memos, the
+    shared build/profile products and the program-digest memo are all
+    pure memos, but tests that count cache traffic (trace-store
+    captures, runner events) or construct conflicting stand-ins must
+    not see another test's entries.
+    """
+    from repro.batchsim import reset_shared_state
+
+    reset_shared_state()
+    yield
+    reset_shared_state()
+
+
 @pytest.fixture
 def m4():
     """The paper's primary 4-wide machine."""

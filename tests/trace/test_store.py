@@ -134,8 +134,14 @@ class TestEvaluationIntegration:
         assert dataclasses.asdict(live) == dataclasses.asdict(replayed)
 
     def test_default_store_is_shared_process_wide(self):
+        # The second Evaluation's profile is served by the shared
+        # build/profile products, so it is the *simulation* read that
+        # exercises the default store again (and must hit, not
+        # re-capture).
         settings = EvaluationSettings(scale=0.2).with_benchmarks(["swim"])
-        Evaluation(settings).profile("swim")
-        Evaluation(settings).profile("swim")
+        first = Evaluation(settings)
+        first.profile("swim")
+        second = Evaluation(settings)
+        second.simulation("swim", second.machine_4w)
         assert default_store().captures == 1
         assert default_store().hits >= 1
